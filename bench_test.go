@@ -1,0 +1,199 @@
+package photon
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation. Each benchmark regenerates its experiment (the same rows /
+// series the paper reports) and publishes the key shape metrics via
+// b.ReportMetric, so `go test -bench=. -benchmem` reproduces the entire
+// evaluation chapter. cmd/photon-bench prints the full text form.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/scenes"
+	"repro/internal/shared"
+)
+
+// runExperiment executes fn once per benchmark iteration and reports the
+// chosen metrics from the final run.
+func runExperiment(b *testing.B, metrics []string, fn func() (*experiments.Result, error)) {
+	b.Helper()
+	var last *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r, err := fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, m := range metrics {
+		if v, ok := last.Values[m]; ok {
+			b.ReportMetric(v, m)
+		}
+	}
+}
+
+func BenchmarkTable51_GeometrySizes(b *testing.B) {
+	runExperiment(b, []string{"leaves-Cornell", "leaves-Harpsichord", "leaves-Computer"},
+		func() (*experiments.Result, error) { return experiments.Table51(120000) })
+}
+
+func BenchmarkTable52_LoadBalance(b *testing.B) {
+	runExperiment(b, []string{"naive-maxmin", "packed-maxmin"},
+		func() (*experiments.Result, error) { return experiments.Table52(80000) })
+}
+
+func BenchmarkTable53_BatchSizes(b *testing.B) {
+	runExperiment(b, []string{"onyx-final", "sp2-final", "indy-final"}, experiments.Table53)
+}
+
+func BenchmarkFig43_PhotonGenKernels(b *testing.B) {
+	runExperiment(b, []string{"speedup", "flop-ratio"},
+		func() (*experiments.Result, error) { return experiments.Fig43Kernels(1_000_000) })
+}
+
+func BenchmarkFig54_MemoryGrowth(b *testing.B) {
+	runExperiment(b, []string{"final-mb", "first-half-growth", "second-half-growth"},
+		func() (*experiments.Result, error) { return experiments.Fig54Memory(300000) })
+}
+
+func BenchmarkFig56to58_SharedMemorySpeedup(b *testing.B) {
+	runExperiment(b, []string{
+		"cornell-box-speedup-8", "harpsichord-room-speedup-8", "computer-lab-speedup-8",
+	}, func() (*experiments.Result, error) { return experiments.Fig56to58Shared(300), nil })
+}
+
+func BenchmarkFig59to511_IndyClusterSpeedup(b *testing.B) {
+	runExperiment(b, []string{
+		"cornell-box-speedup-8", "harpsichord-room-speedup-2", "computer-lab-speedup-8",
+	}, func() (*experiments.Result, error) { return experiments.Fig59to511Indy(300), nil })
+}
+
+func BenchmarkFig512to514_SP2Speedup(b *testing.B) {
+	runExperiment(b, []string{
+		"cornell-box-speedup-2", "cornell-box-speedup-4", "cornell-box-speedup-64",
+		"computer-lab-speedup-64",
+	}, func() (*experiments.Result, error) { return experiments.Fig512to514SP2(300), nil })
+}
+
+func BenchmarkFig515_GraphOfGraphs(b *testing.B) {
+	runExperiment(b, nil,
+		func() (*experiments.Result, error) { return experiments.Fig515GraphOfGraphs(300), nil })
+}
+
+func BenchmarkFig516_VisualSpeedup(b *testing.B) {
+	runExperiment(b, []string{"photons-1", "photons-8", "rmse-1", "rmse-8"},
+		func() (*experiments.Result, error) { return experiments.Fig516Visual(60) })
+}
+
+func BenchmarkFig24_SphericalHarmonicRinging(b *testing.B) {
+	runExperiment(b, []string{"undershoot", "peak"},
+		func() (*experiments.Result, error) { return experiments.Fig24SphHarm(), nil })
+}
+
+func BenchmarkFig410_ViewpointReuse(b *testing.B) {
+	runExperiment(b, []string{"sim-ms"},
+		func() (*experiments.Result, error) { return experiments.Fig410Viewpoints(120000) })
+}
+
+func BenchmarkDensityEstimationBaseline(b *testing.B) {
+	runExperiment(b, []string{"trace-speedup", "mesh-speedup", "storage-ratio"},
+		func() (*experiments.Result, error) { return experiments.DensityComparison(60000) })
+}
+
+func BenchmarkRadiosityBaseline(b *testing.B) {
+	runExperiment(b, []string{"jacobi-iters", "gs-iters", "hr-tight"},
+		func() (*experiments.Result, error) { return experiments.RadiosityBaseline() })
+}
+
+// BenchmarkGeoDistribution is the chapter-6 ablation: replicated-geometry
+// tally forwarding versus geometry-distributed photon-flight forwarding.
+func BenchmarkGeoDistribution(b *testing.B) {
+	runExperiment(b, []string{"geo-forwards", "repl-bytes", "geo-bytes"},
+		func() (*experiments.Result, error) { return experiments.GeoDistribution(40000) })
+}
+
+// --- Engine throughput benchmarks (real wall-clock, this host) ---
+
+func benchEngine(b *testing.B, sceneName string, engine Engine, workers int) {
+	b.Helper()
+	sc, err := SceneByName(sceneName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const photonsPerIter = 20000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(sc, Config{
+			Photons: photonsPerIter, Engine: engine, Workers: workers, Seed: int64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(photonsPerIter)*float64(b.N)/b.Elapsed().Seconds(), "photons/s")
+}
+
+func BenchmarkEngineSerialCornell(b *testing.B) { benchEngine(b, "cornell-box", EngineSerial, 1) }
+func BenchmarkEngineSharedCornell(b *testing.B) { benchEngine(b, "cornell-box", EngineShared, 4) }
+func BenchmarkEngineDistCornell(b *testing.B)   { benchEngine(b, "cornell-box", EngineDistributed, 4) }
+func BenchmarkEngineSerialLab(b *testing.B)     { benchEngine(b, "computer-lab", EngineSerial, 1) }
+
+// --- Ablation benches for DESIGN.md's design choices ---
+
+// BenchmarkAblationBatchSize quantifies the communication-amortization
+// trade the adaptive controller navigates: throughput of the distributed
+// engine at fixed small vs paper-equilibrium batch sizes.
+func BenchmarkAblationBatchSize(b *testing.B) {
+	sc, err := scenes.Quickstart()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, batch := range []int{50, 500, 1500} {
+		b.Run(sizeName(batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := dist.DefaultConfig(20000, 4)
+				cfg.BatchSize = batch
+				if _, err := dist.Run(sc, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n < 100:
+		return "batch-small"
+	case n < 1000:
+		return "batch-paper-initial"
+	default:
+		return "batch-paper-equilibrium"
+	}
+}
+
+// BenchmarkAblationLockStriping measures the shared engine with 1 worker
+// (lock overhead only) against the lock-free serial engine: the price of
+// the multiple-reader / single-writer protocol.
+func BenchmarkAblationLockStriping(b *testing.B) {
+	sc, err := scenes.Quickstart()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serial-no-locks", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Run(sc, core.DefaultConfig(20000)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("shared-1worker-locked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := shared.Run(sc, shared.Config{Core: core.DefaultConfig(20000), Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,71 @@
+// photon-bench regenerates the paper's tables and figures (chapter 5 and
+// the HPDC'97 appendix), printing the same rows and series the paper
+// reports.
+//
+// Usage:
+//
+//	photon-bench              # run everything, paper order
+//	photon-bench -list        # list experiment ids
+//	photon-bench -run fig-5.4 # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("photon-bench: ")
+
+	var (
+		list = flag.Bool("list", false, "list experiment ids and exit")
+		run  = flag.String("run", "", "run a single experiment by id")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	if *run != "" {
+		fn, ok := experiments.ByID(*run)
+		if !ok {
+			log.Fatalf("unknown experiment %q; use -list", *run)
+		}
+		start := time.Now()
+		r, err := fn()
+		if err != nil {
+			log.Fatal(err)
+		}
+		printResult(r, time.Since(start))
+		return
+	}
+
+	start := time.Now()
+	results, err := experiments.All()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		printResult(r, 0)
+	}
+	fmt.Printf("all %d experiments regenerated in %v\n", len(results),
+		time.Since(start).Round(time.Millisecond))
+}
+
+func printResult(r *experiments.Result, elapsed time.Duration) {
+	fmt.Printf("==== %s ====\n", r.ID)
+	fmt.Println(r.Text)
+	if elapsed > 0 {
+		fmt.Printf("(%v)\n", elapsed.Round(time.Millisecond))
+	}
+	fmt.Println()
+}

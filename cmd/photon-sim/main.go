@@ -1,0 +1,98 @@
+// photon-sim runs a Photon global illumination simulation and writes the
+// answer file.
+//
+// Usage:
+//
+//	photon-sim -scene cornell-box -photons 1000000 -engine shared -workers 8 -o cornell.pbf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	photon "repro"
+	"repro/internal/dist"
+	"repro/internal/scenes"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("photon-sim: ")
+
+	var (
+		sceneName = flag.String("scene", "quickstart", "scene: "+strings.Join(photon.SceneNames(), ", "))
+		photons   = flag.Int64("photons", 200000, "photons to emit")
+		engine    = flag.String("engine", "serial", "engine: serial, shared, distributed, geo")
+		workers   = flag.Int("workers", 4, "workers (shared) or ranks (distributed)")
+		batch     = flag.Int("batch", 500, "photons per rank per batch (distributed)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		out       = flag.String("o", "answer.pbf", "output answer file")
+	)
+	flag.Parse()
+
+	scene, err := photon.SceneByName(*sceneName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scene %s: %d defining polygons, %d luminaires\n",
+		scene.Name, scene.DefiningPolygons(), len(scene.Geom.Luminaires))
+	fmt.Printf("tracing %d photons on the %s engine (%d workers)...\n", *photons, *engine, *workers)
+
+	start := time.Now()
+	var sol *photon.Solution
+	switch *engine {
+	case "serial":
+		sol, err = photon.Simulate(scene, photon.Config{
+			Photons: *photons, Seed: *seed, Engine: photon.EngineSerial})
+	case "shared":
+		sol, err = photon.Simulate(scene, photon.Config{
+			Photons: *photons, Seed: *seed, Engine: photon.EngineShared, Workers: *workers})
+	case "distributed", "dist":
+		sol, err = photon.Simulate(scene, photon.Config{
+			Photons: *photons, Seed: *seed, Engine: photon.EngineDistributed,
+			Workers: *workers, BatchSize: *batch})
+	case "geo":
+		sol, err = runGeo(scene, *photons, *seed, *workers)
+	default:
+		log.Fatalf("unknown engine %q", *engine)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	st := sol.Stats()
+	fmt.Printf("done in %v (%.0f photons/sec)\n", elapsed.Round(time.Millisecond),
+		float64(st.PhotonsEmitted)/elapsed.Seconds())
+	fmt.Printf("  reflections: %d  (mean path %.2f)\n", st.Reflections, st.MeanPathLength())
+	fmt.Printf("  bin splits:  %d  (%d view-dependent bins, %.2f MB)\n",
+		st.BinSplits, sol.Leaves(), float64(sol.MemoryBytes())/1e6)
+
+	if err := sol.SaveFile(*out); err != nil {
+		log.Fatal(err)
+	}
+	fi, err := os.Stat(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("answer written to %s (%.2f MB)\n", *out, float64(fi.Size())/1e6)
+}
+
+// runGeo drives the geometry-distributed (octree-region ownership) engine —
+// the dissertation's chapter-6 "Massive Parallelism" design.
+func runGeo(scene *scenes.Scene, photons, seed int64, ranks int) (*photon.Solution, error) {
+	cfg := dist.DefaultGeoConfig(photons, ranks)
+	cfg.Core.Seed = seed
+	res, err := dist.GeoRun(scene, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("  geometry-distributed: %d inter-region photon forwards, %d messages\n",
+		res.Forwards, res.Traffic.Messages)
+	return photon.SolutionFromResult(res.Result), nil
+}

@@ -1,0 +1,133 @@
+// Package answer implements the durable "answer file": the paper's
+// simulate-once / view-many-times pipeline stores the complete radiance
+// database (bin forest + provenance) on disk, and the viewer renders any
+// viewpoint from it without recomputation (Figure 4.10).
+package answer
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bintree"
+	"repro/internal/core"
+	"repro/internal/scenes"
+)
+
+const magic = "PANS"
+
+// Solution is a completed, viewable global illumination answer.
+type Solution struct {
+	// SceneName names the procedural scene the forest was computed for;
+	// the viewer rebuilds the geometry from it.
+	SceneName string
+	// EmittedPhotons is the total emission count (radiance normalization).
+	EmittedPhotons int64
+	// Forest is the radiance database.
+	Forest *bintree.Forest
+}
+
+// FromResult wraps a finished simulation.
+func FromResult(res *core.Result) *Solution {
+	return &Solution{
+		SceneName:      res.Scene.Name,
+		EmittedPhotons: res.EmittedPhotons,
+		Forest:         res.Forest,
+	}
+}
+
+// Save writes the solution to w.
+func (s *Solution) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	name := []byte(s.SceneName)
+	if err := binary.Write(bw, binary.LittleEndian, int32(len(name))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(name); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, s.EmittedPhotons); err != nil {
+		return err
+	}
+	if err := bintree.EncodeForest(bw, s.Forest); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Load reads a solution written by Save.
+func Load(r io.Reader) (*Solution, error) {
+	br := bufio.NewReader(r)
+	m := make([]byte, 4)
+	if _, err := io.ReadFull(br, m); err != nil {
+		return nil, fmt.Errorf("answer: reading magic: %w", err)
+	}
+	if string(m) != magic {
+		return nil, fmt.Errorf("answer: bad magic %q", m)
+	}
+	var nameLen int32
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return nil, err
+	}
+	if nameLen < 0 || nameLen > 4096 {
+		return nil, fmt.Errorf("answer: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	var emitted int64
+	if err := binary.Read(br, binary.LittleEndian, &emitted); err != nil {
+		return nil, err
+	}
+	forest, err := bintree.DecodeForest(br)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{SceneName: string(name), EmittedPhotons: emitted, Forest: forest}, nil
+}
+
+// SaveFile writes the solution to path.
+func (s *Solution) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a solution from path.
+func LoadFile(path string) (*Solution, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Scene rebuilds the geometry the solution was computed for.
+func (s *Solution) Scene() (*scenes.Scene, error) {
+	ctor, ok := scenes.ByName(s.SceneName)
+	if !ok {
+		return nil, fmt.Errorf("answer: unknown scene %q", s.SceneName)
+	}
+	sc, err := ctor()
+	if err != nil {
+		return nil, err
+	}
+	if sc.DefiningPolygons() != s.Forest.NumTrees() {
+		return nil, fmt.Errorf("answer: scene %q has %d polygons but forest has %d trees",
+			s.SceneName, sc.DefiningPolygons(), s.Forest.NumTrees())
+	}
+	return sc, nil
+}

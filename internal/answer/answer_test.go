@@ -1,0 +1,96 @@
+package answer
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenes"
+)
+
+func solve(t testing.TB, photons int64) (*scenes.Scene, *Solution) {
+	t.Helper()
+	s, err := scenes.Quickstart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(s, core.DefaultConfig(photons))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, FromResult(res)
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	_, sol := solve(t, 20000)
+	var buf bytes.Buffer
+	if err := sol.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SceneName != sol.SceneName {
+		t.Errorf("scene name %q != %q", got.SceneName, sol.SceneName)
+	}
+	if got.EmittedPhotons != sol.EmittedPhotons {
+		t.Errorf("emitted %d != %d", got.EmittedPhotons, sol.EmittedPhotons)
+	}
+	if got.Forest.TotalPhotons() != sol.Forest.TotalPhotons() {
+		t.Errorf("forest photons %d != %d", got.Forest.TotalPhotons(), sol.Forest.TotalPhotons())
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	_, sol := solve(t, 5000)
+	path := filepath.Join(t.TempDir(), "ans.pbf")
+	if err := sol.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Forest.TotalLeaves() != sol.Forest.TotalLeaves() {
+		t.Fatal("file round trip lost forest structure")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not an answer file")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestSceneReattach(t *testing.T) {
+	_, sol := solve(t, 1000)
+	sc, err := sol.Scene()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "quickstart" {
+		t.Fatalf("reattached scene %q", sc.Name)
+	}
+	if sc.DefiningPolygons() != sol.Forest.NumTrees() {
+		t.Fatal("scene/forest mismatch after reattach")
+	}
+}
+
+func TestSceneReattachUnknownName(t *testing.T) {
+	_, sol := solve(t, 1000)
+	sol.SceneName = "no-such-scene"
+	if _, err := sol.Scene(); err == nil {
+		t.Fatal("unknown scene name accepted")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.pbf")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,176 @@
+package baseline
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/scenes"
+	"repro/internal/vecmath"
+)
+
+// Density estimation (Shirley et al., parallelized by Zareski et al.) is
+// the closest prior art to Photon and the comparison chapter 3 closes with:
+// particle tracing records EVERY interaction in an O(n) "hit point" file,
+// which a second pass distills into per-surface irradiance functions; the
+// parallel version's second phase is limited by the surface with the most
+// hit points. Photon's histogram distillation removes both problems.
+
+// HitPoint is one recorded photon-surface interaction (the paper budgets
+// ~100 bytes per hit in mass storage).
+type HitPoint struct {
+	Patch int32
+	S, T  float32
+	Power float32
+}
+
+// HitPointBytes is the assumed storage per hit record.
+const HitPointBytes = 100
+
+// DensityResult is the outcome of the particle-tracing phase.
+type DensityResult struct {
+	Hits      []HitPoint
+	PerPatch  []int64 // hit counts per defining polygon
+	FileBytes int64   // simulated hit-file size (O(n) in photons)
+}
+
+// TraceDensity runs the particle-tracing phase: the same transport physics
+// as Photon, but recording raw hits instead of histogramming them.
+func TraceDensity(sc *scenes.Scene, photons int64, seed int64) (*DensityResult, error) {
+	cfg := core.DefaultConfig(photons)
+	cfg.Seed = seed
+	sim, err := core.NewSimulator(sc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &DensityResult{PerPatch: make([]int64, len(sc.Geom.Patches))}
+	stream := rng.New(seed)
+	var stats core.Stats
+	for i := int64(0); i < photons; i++ {
+		sim.TracePhotonFunc(stream, &stats, func(t core.Tally) {
+			res.Hits = append(res.Hits, HitPoint{
+				Patch: t.Patch,
+				S:     float32(t.Point.S), T: float32(t.Point.T),
+				Power: float32(t.Power.R+t.Power.G+t.Power.B) / 3,
+			})
+			res.PerPatch[t.Patch]++
+		})
+	}
+	res.FileBytes = int64(len(res.Hits)) * HitPointBytes
+	return res, nil
+}
+
+// EstimateDensity is the second phase: a fixed grid per surface (no
+// adaptivity — the contrast with Photon's bins), returning per-patch
+// irradiance grids.
+func EstimateDensity(res *DensityResult, nPatches, gridSize int) [][]float64 {
+	grids := make([][]float64, nPatches)
+	for i := range grids {
+		grids[i] = make([]float64, gridSize*gridSize)
+	}
+	for _, h := range res.Hits {
+		gx := int(float64(h.S) * float64(gridSize))
+		gy := int(float64(h.T) * float64(gridSize))
+		if gx >= gridSize {
+			gx = gridSize - 1
+		}
+		if gy >= gridSize {
+			gy = gridSize - 1
+		}
+		grids[h.Patch][gy*gridSize+gx] += float64(h.Power)
+	}
+	return grids
+}
+
+// LargestSurfaceFraction returns the fraction of all hits landing on the
+// single busiest surface — the Amdahl term that caps the parallel meshing
+// phase ("limited by the time needed to process the surface with the
+// largest number of hit points").
+func (r *DensityResult) LargestSurfaceFraction() float64 {
+	var total, max int64
+	for _, c := range r.PerPatch {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) / float64(total)
+}
+
+// MeshingSpeedup returns the modelled speedup of the density-estimation +
+// meshing phase on p processors given the largest-surface hit fraction f:
+// work on one surface is indivisible, so by Amdahl
+// S(p) = 1 / (f + (1-f)/p). With the fractions the paper reports this
+// yields ≈8.5 at 16 processors for a typical geometry and ≈4.5 in the bad
+// case, versus ≈15 for the embarrassingly-parallel tracing phase.
+func MeshingSpeedup(f float64, p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	return 1 / (f + (1-f)/float64(p))
+}
+
+// TracingSpeedup models the particle-tracing phase: near-linear with a
+// small per-processor coordination loss (the paper observed ~15 on 16).
+func TracingSpeedup(p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	return float64(p) / (1 + 3e-4*float64(p-1)*float64(p-1))
+}
+
+// PhotonStorageBytes returns the storage Photon would use for the same
+// simulation: the bin forest, not the hit log — the 1-2 orders of magnitude
+// the paper claims.
+func PhotonStorageBytes(sc *scenes.Scene, photons int64, seed int64) (int64, error) {
+	cfg := core.DefaultConfig(photons)
+	cfg.Seed = seed
+	res, err := core.Run(sc, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.Forest.MemoryBytes(), nil
+}
+
+// SharpShadowMetric quantifies the hard-shadow artefact of point-light ray
+// tracing versus Photon's finite sun: it measures, along a probe segment
+// crossing a shadow boundary, the maximum luminance jump between adjacent
+// samples (1.0 = binary step, small = soft penumbra).
+func SharpShadowMetric(samples []float64) float64 {
+	if len(samples) < 2 {
+		return 0
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range samples {
+		lo = math.Min(lo, s)
+		hi = math.Max(hi, s)
+	}
+	if hi <= lo {
+		return 0
+	}
+	var maxJump float64
+	for i := 1; i < len(samples); i++ {
+		j := math.Abs(samples[i]-samples[i-1]) / (hi - lo)
+		if j > maxJump {
+			maxJump = j
+		}
+	}
+	return maxJump
+}
+
+// ProbeShadow samples scene luminance (via a supplied shading function)
+// along a world-space segment; used to compare penumbra widths between the
+// Whitted baseline and Photon answers.
+func ProbeShadow(from, to vecmath.Vec3, n int, shade func(p vecmath.Vec3) float64) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = shade(from.Lerp(to, float64(i)/float64(n-1)))
+	}
+	return out
+}

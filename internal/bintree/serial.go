@@ -1,0 +1,183 @@
+package bintree
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary answer-file format for bin forests. The paper's two-stage pipeline
+// (simulate, then view "using the same answer file" — Figure 4.10) depends
+// on a durable on-disk representation of the radiance database; this is it.
+//
+// Layout (little-endian):
+//
+//	magic "PBF2"
+//	cfg: SplitSigma float64, MinCount int64, MaxDepth int64
+//	cells int64 (sections per axis), tree count int64
+//	per tree: root lo[4] float64, root hi[4] float64, total int64,
+//	node stream (pre-order):
+//	    tag byte (0 leaf, 1 interior)
+//	    leaf: count int64, power 3×float64, halfLo 4×int64, depth int64
+//	    interior: splitAxis byte, splitAt float64, then left, right
+//
+// Interior bounds are not stored: they are reconstructed during decoding
+// from the root domain and split points, which both saves space and makes
+// corrupt files detectable.
+
+const forestMagic = "PBF2"
+
+// EncodeForest writes the forest to w.
+func EncodeForest(w io.Writer, f *Forest) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(forestMagic); err != nil {
+		return err
+	}
+	if err := writeAll(bw, f.cfg.SplitSigma, int64(f.cfg.MinCount), int64(f.cfg.MaxDepth),
+		int64(f.cells), int64(len(f.trees))); err != nil {
+		return err
+	}
+	for _, t := range f.trees {
+		if err := writeAll(bw,
+			t.root.lo[0], t.root.lo[1], t.root.lo[2], t.root.lo[3],
+			t.root.hi[0], t.root.hi[1], t.root.hi[2], t.root.hi[3],
+			t.total); err != nil {
+			return err
+		}
+		if err := encodeNode(bw, t.root); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeAll(w io.Writer, vals ...interface{}) error {
+	for _, v := range vals {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func encodeNode(w io.Writer, n *Node) error {
+	if n.IsLeaf() {
+		if err := writeAll(w, byte(0), n.count, n.power.R, n.power.G, n.power.B); err != nil {
+			return err
+		}
+		return writeAll(w, n.halfLo[0], n.halfLo[1], n.halfLo[2], n.halfLo[3], int64(n.depth))
+	}
+	if err := writeAll(w, byte(1), byte(n.splitAxis), n.splitAt); err != nil {
+		return err
+	}
+	if err := encodeNode(w, n.left); err != nil {
+		return err
+	}
+	return encodeNode(w, n.right)
+}
+
+// DecodeForest reads a forest written by EncodeForest.
+func DecodeForest(r io.Reader) (*Forest, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("bintree: reading magic: %w", err)
+	}
+	if string(magic) != forestMagic {
+		return nil, fmt.Errorf("bintree: bad magic %q", magic)
+	}
+	var cfg Config
+	var minCount, maxDepth, cells, nTrees int64
+	if err := readAll(br, &cfg.SplitSigma, &minCount, &maxDepth, &cells, &nTrees); err != nil {
+		return nil, err
+	}
+	cfg.MinCount = minCount
+	cfg.MaxDepth = int(maxDepth)
+	if nTrees < 0 || nTrees > 1<<31 {
+		return nil, fmt.Errorf("bintree: implausible tree count %d", nTrees)
+	}
+	if cells < 1 || cells > 1024 {
+		return nil, fmt.Errorf("bintree: implausible cell count %d", cells)
+	}
+	f := &Forest{cfg: cfg, trees: make([]*Tree, nTrees), cells: int(cells)}
+	for i := range f.trees {
+		var lo, hi [numAxes]float64
+		if err := readAll(br,
+			&lo[0], &lo[1], &lo[2], &lo[3],
+			&hi[0], &hi[1], &hi[2], &hi[3]); err != nil {
+			return nil, err
+		}
+		for a := 0; a < numAxes; a++ {
+			if !(lo[a] < hi[a]) || math.IsNaN(lo[a]) || math.IsNaN(hi[a]) {
+				return nil, fmt.Errorf("bintree: tree %d has invalid domain", i)
+			}
+		}
+		t := &Tree{cfg: cfg}
+		if err := readAll(br, &t.total); err != nil {
+			return nil, err
+		}
+		root, nodes, leaves, err := decodeNode(br, lo, hi, 0)
+		if err != nil {
+			return nil, fmt.Errorf("bintree: tree %d: %w", i, err)
+		}
+		t.root, t.nodes, t.leaves = root, nodes, leaves
+		f.trees[i] = t
+	}
+	return f, nil
+}
+
+func readAll(r io.Reader, vals ...interface{}) error {
+	for _, v := range vals {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeNode(r io.Reader, lo, hi [numAxes]float64, depth int) (n *Node, nodes, leaves int, err error) {
+	var tag byte
+	if err := binary.Read(r, binary.LittleEndian, &tag); err != nil {
+		return nil, 0, 0, err
+	}
+	n = &Node{lo: lo, hi: hi, depth: depth}
+	switch tag {
+	case 0:
+		var d int64
+		if err := readAll(r, &n.count, &n.power.R, &n.power.G, &n.power.B,
+			&n.halfLo[0], &n.halfLo[1], &n.halfLo[2], &n.halfLo[3], &d); err != nil {
+			return nil, 0, 0, err
+		}
+		n.depth = int(d)
+		return n, 1, 1, nil
+	case 1:
+		var axis byte
+		if err := readAll(r, &axis, &n.splitAt); err != nil {
+			return nil, 0, 0, err
+		}
+		if axis >= numAxes {
+			return nil, 0, 0, fmt.Errorf("invalid split axis %d", axis)
+		}
+		n.splitAxis = Axis(axis)
+		if n.splitAt <= lo[axis] || n.splitAt >= hi[axis] || math.IsNaN(n.splitAt) {
+			return nil, 0, 0, fmt.Errorf("split at %g outside bin [%g,%g)", n.splitAt, lo[axis], hi[axis])
+		}
+		lhi, rlo := hi, lo
+		lhi[axis] = n.splitAt
+		rlo[axis] = n.splitAt
+		var ln, rn *Node
+		var lNodes, lLeaves, rNodes, rLeaves int
+		if ln, lNodes, lLeaves, err = decodeNode(r, lo, lhi, depth+1); err != nil {
+			return nil, 0, 0, err
+		}
+		if rn, rNodes, rLeaves, err = decodeNode(r, rlo, hi, depth+1); err != nil {
+			return nil, 0, 0, err
+		}
+		n.left, n.right = ln, rn
+		return n, lNodes + rNodes + 1, lLeaves + rLeaves, nil
+	default:
+		return nil, 0, 0, fmt.Errorf("invalid node tag %d", tag)
+	}
+}

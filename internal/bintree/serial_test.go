@@ -1,0 +1,145 @@
+package bintree
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func buildForest(seed int64, patches, photons int) *Forest {
+	f := NewForest(patches, DefaultConfig())
+	r := rng.New(seed)
+	for i := 0; i < photons; i++ {
+		p := lambertPoint(r)
+		p.S = p.S * p.S
+		f.Add(r.Intn(patches), p, RGB{r.Float64(), r.Float64(), r.Float64()})
+	}
+	return f
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := buildForest(1, 5, 20000)
+	var buf bytes.Buffer
+	if err := EncodeForest(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := DecodeForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTrees() != f.NumTrees() {
+		t.Fatalf("tree count %d != %d", g.NumTrees(), f.NumTrees())
+	}
+	if g.TotalPhotons() != f.TotalPhotons() {
+		t.Fatalf("total photons %d != %d", g.TotalPhotons(), f.TotalPhotons())
+	}
+	if g.TotalLeaves() != f.TotalLeaves() {
+		t.Fatalf("leaves %d != %d", g.TotalLeaves(), f.TotalLeaves())
+	}
+	// Radiance estimates agree at random probes.
+	r := rng.New(2)
+	for i := 0; i < 500; i++ {
+		pt := randPoint(r)
+		patch := r.Intn(5)
+		a := f.Radiance(patch, pt, 2.5)
+		b := g.Radiance(patch, pt, 2.5)
+		if math.Abs(a.R-b.R) > 1e-12 || math.Abs(a.G-b.G) > 1e-12 || math.Abs(a.B-b.B) > 1e-12 {
+			t.Fatalf("radiance mismatch at %+v: %+v vs %+v", pt, a, b)
+		}
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	if _, err := DecodeForest(bytes.NewBufferString("XXXXgarbage")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestDecodeRejectsTruncated(t *testing.T) {
+	f := buildForest(3, 2, 5000)
+	var buf bytes.Buffer
+	if err := EncodeForest(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{5, len(data) / 2, len(data) - 1} {
+		if _, err := DecodeForest(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDecodeRejectsEmpty(t *testing.T) {
+	if _, err := DecodeForest(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	f := buildForest(4, 3, 10000)
+	var a, b bytes.Buffer
+	if err := EncodeForest(&a, f); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeForest(&b, f); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("encoding not deterministic")
+	}
+}
+
+func TestRoundTripPreservesConfig(t *testing.T) {
+	cfg := Config{SplitSigma: 2.5, MinCount: 64, MaxDepth: 12}
+	f := NewForest(1, cfg)
+	var buf bytes.Buffer
+	if err := EncodeForest(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := DecodeForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Config() != cfg {
+		t.Fatalf("config %+v != %+v", g.Config(), cfg)
+	}
+}
+
+func TestRoundTripEmptyForest(t *testing.T) {
+	f := NewForest(4, DefaultConfig())
+	var buf bytes.Buffer
+	if err := EncodeForest(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := DecodeForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTrees() != 4 || g.TotalPhotons() != 0 || g.TotalLeaves() != 4 {
+		t.Fatalf("empty round trip: trees=%d photons=%d leaves=%d",
+			g.NumTrees(), g.TotalPhotons(), g.TotalLeaves())
+	}
+}
+
+func TestDecodedTreeContinuesAccumulating(t *testing.T) {
+	// A decoded forest is live: adding more photons must work and conserve.
+	f := buildForest(5, 1, 5000)
+	var buf bytes.Buffer
+	if err := EncodeForest(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := DecodeForest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := g.Tree(0).SumLeafCounts()
+	r := rng.New(6)
+	for i := 0; i < 1000; i++ {
+		g.Add(0, lambertPoint(r), white())
+	}
+	if got := g.Tree(0).SumLeafCounts(); got != before+1000 {
+		t.Fatalf("after resume: %d, want %d", got, before+1000)
+	}
+}

@@ -1,0 +1,289 @@
+package brdf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/vecmath"
+)
+
+var (
+	up    = vecmath.V(0, 0, 1)
+	basis = vecmath.NewONB(up)
+)
+
+// scatterMany fires n photons straight down and returns the fraction that
+// survive and the mean carried RGB weight of survivors (scaled by survival),
+// i.e. the measured albedo.
+func measuredAlbedo(t *testing.T, m Material, n int, in vecmath.Vec3) vecmath.Vec3 {
+	t.Helper()
+	r := rng.New(1)
+	var sum vecmath.Vec3
+	for i := 0; i < n; i++ {
+		it := m.Scatter(r, in, up, basis, 0)
+		if !it.Absorbed {
+			sum = sum.Add(it.Weight)
+		}
+	}
+	return sum.Scale(1 / float64(n))
+}
+
+func TestDiffuseEnergyConservation(t *testing.T) {
+	m := MatteWhite()
+	got := measuredAlbedo(t, m, 200000, vecmath.V(0, 0, -1))
+	want := m.DiffuseRefl
+	if !got.NearEqual(want, 0.01) {
+		t.Fatalf("measured albedo %v, want %v", got, want)
+	}
+}
+
+func TestColoredDiffuseUnbiasedPerChannel(t *testing.T) {
+	m := MatteRed()
+	got := measuredAlbedo(t, m, 400000, vecmath.V(0, 0, -1))
+	if !got.NearEqual(m.DiffuseRefl, 0.01) {
+		t.Fatalf("measured albedo %v, want %v", got, m.DiffuseRefl)
+	}
+}
+
+func TestMirrorEnergyConservation(t *testing.T) {
+	m := MirrorMaterial()
+	in := vecmath.V(1, 0, -1).Norm()
+	got := measuredAlbedo(t, m, 200000, in)
+	if !got.NearEqual(m.SpecularRefl, 0.01) {
+		t.Fatalf("measured albedo %v, want %v", got, m.SpecularRefl)
+	}
+}
+
+func TestMirrorReflectsExactly(t *testing.T) {
+	m := MirrorMaterial()
+	r := rng.New(2)
+	in := vecmath.V(1, 0.5, -1).Norm()
+	want := in.Reflect(up)
+	for i := 0; i < 1000; i++ {
+		it := m.Scatter(r, in, up, basis, 0)
+		if it.Absorbed {
+			continue
+		}
+		if !it.Dir.NearEqual(want, 1e-12) {
+			t.Fatalf("mirror scattered to %v, want %v", it.Dir, want)
+		}
+		if !it.SpecularEvent {
+			t.Fatal("mirror bounce not marked specular")
+		}
+	}
+}
+
+func TestDiffuseOutgoingAboveSurface(t *testing.T) {
+	m := MatteWhite()
+	r := rng.New(3)
+	in := vecmath.V(0.3, -0.2, -1).Norm()
+	for i := 0; i < 20000; i++ {
+		it := m.Scatter(r, in, up, basis, 0.7)
+		if it.Absorbed {
+			continue
+		}
+		if it.Dir.Z <= 0 {
+			t.Fatalf("diffuse bounce below surface: %v", it.Dir)
+		}
+		if math.Abs(it.Dir.Len()-1) > 1e-9 {
+			t.Fatalf("non-unit outgoing: %v", it.Dir)
+		}
+	}
+}
+
+func TestDiffuseIsCosineDistributed(t *testing.T) {
+	m := MatteWhite()
+	r := rng.New(4)
+	var sz float64
+	cnt := 0
+	for i := 0; i < 200000; i++ {
+		it := m.Scatter(r, vecmath.V(0, 0, -1), up, basis, 0)
+		if it.Absorbed {
+			continue
+		}
+		sz += it.Dir.Z
+		cnt++
+	}
+	if mean := sz / float64(cnt); math.Abs(mean-2.0/3) > 0.01 {
+		t.Fatalf("E[cos] = %v, want 2/3 for Lambertian", mean)
+	}
+}
+
+func TestGlossyLobeCentersOnMirrorDirection(t *testing.T) {
+	m := LacqueredWood()
+	r := rng.New(5)
+	in := vecmath.V(1, 0, -1).Norm()
+	mirror := in.Reflect(up)
+	var mean vecmath.Vec3
+	cnt := 0
+	for i := 0; i < 100000; i++ {
+		it := m.Scatter(r, in, up, basis, 0)
+		if it.Absorbed || !it.SpecularEvent {
+			continue
+		}
+		mean = mean.Add(it.Dir)
+		cnt++
+	}
+	if cnt == 0 {
+		t.Fatal("no specular events")
+	}
+	mean = mean.Scale(1 / float64(cnt)).Norm()
+	if mean.Dot(mirror) < 0.95 {
+		t.Fatalf("glossy lobe mean %v misaligned with mirror dir %v", mean, mirror)
+	}
+}
+
+func TestGlossyTighterLobeWithHigherShininess(t *testing.T) {
+	spread := func(shininess float64) float64 {
+		m := Material{Kind: Glossy, SpecularRefl: vecmath.V(0.9, 0.9, 0.9), Shininess: shininess}
+		r := rng.New(6)
+		in := vecmath.V(0, 0, -1)
+		mirror := in.Reflect(up)
+		var dev float64
+		cnt := 0
+		for i := 0; i < 50000; i++ {
+			it := m.Scatter(r, in, up, basis, 0)
+			if it.Absorbed {
+				continue
+			}
+			dev += 1 - it.Dir.Dot(mirror)
+			cnt++
+		}
+		return dev / float64(cnt)
+	}
+	loose, tight := spread(5), spread(500)
+	if tight >= loose {
+		t.Fatalf("shininess 500 spread %v not tighter than shininess 5 spread %v", tight, loose)
+	}
+}
+
+func TestLayeredGrazingIncidenceMoreSpecular(t *testing.T) {
+	// The Fresnel coat: specular fraction rises sharply at grazing angles.
+	m := SemiGloss()
+	specFraction := func(in vecmath.Vec3) float64 {
+		r := rng.New(7)
+		spec, total := 0, 0
+		for i := 0; i < 100000; i++ {
+			it := m.Scatter(r, in, up, basis, 0)
+			if it.Absorbed {
+				continue
+			}
+			total++
+			if it.SpecularEvent {
+				spec++
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(spec) / float64(total)
+	}
+	normal := specFraction(vecmath.V(0, 0, -1))
+	grazing := specFraction(vecmath.V(1, 0, -0.08).Norm())
+	if grazing < 4*normal {
+		t.Fatalf("grazing specular fraction %v should be far above normal-incidence %v", grazing, normal)
+	}
+}
+
+func TestSchlick(t *testing.T) {
+	if got := Schlick(0.04, 1); math.Abs(got-0.04) > 1e-12 {
+		t.Errorf("Schlick at normal incidence = %v, want F0", got)
+	}
+	if got := Schlick(0.04, 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Schlick at grazing = %v, want 1", got)
+	}
+	if Schlick(0.04, 0.5) <= 0.04 || Schlick(0.04, 0.5) >= 1 {
+		t.Errorf("Schlick mid-angle out of range: %v", Schlick(0.04, 0.5))
+	}
+}
+
+func TestPolarizationDiffuseDepolarizes(t *testing.T) {
+	m := MatteWhite()
+	r := rng.New(8)
+	for i := 0; i < 1000; i++ {
+		it := m.Scatter(r, vecmath.V(0, 0, -1), up, basis, 0.9)
+		if !it.Absorbed && it.Polarization != 0 {
+			t.Fatalf("diffuse bounce kept polarization %v", it.Polarization)
+		}
+	}
+}
+
+func TestPolarizationSpecularPolarizes(t *testing.T) {
+	m := MirrorMaterial()
+	r := rng.New(9)
+	in := vecmath.V(1, 0, -1).Norm() // 45 degrees: strong polarization
+	for i := 0; i < 1000; i++ {
+		it := m.Scatter(r, in, up, basis, 0)
+		if it.Absorbed {
+			continue
+		}
+		if it.Polarization <= 0 || it.Polarization > 1 {
+			t.Fatalf("specular polarization = %v", it.Polarization)
+		}
+	}
+}
+
+func TestPolarizationMonotoneAccumulation(t *testing.T) {
+	// Repeated specular bounces increase polarization toward (but never
+	// beyond) 1.
+	pol := 0.0
+	for i := 0; i < 20; i++ {
+		next := polarizeSpecular(pol, 0.7)
+		if next < pol || next > 1 {
+			t.Fatalf("polarization stepped from %v to %v", pol, next)
+		}
+		pol = next
+	}
+	if pol < 0.5 {
+		t.Fatalf("polarization after 20 bounces only %v", pol)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := MatteWhite()
+	if !good.Validate() {
+		t.Error("valid material rejected")
+	}
+	bad := Material{Kind: Glossy, DiffuseRefl: vecmath.V(0.7, 0.7, 0.7), SpecularRefl: vecmath.V(0.5, 0.5, 0.5)}
+	if bad.Validate() {
+		t.Error("energy-violating material accepted")
+	}
+	neg := Material{Kind: Diffuse, DiffuseRefl: vecmath.V(-0.1, 0.5, 0.5)}
+	if neg.Validate() {
+		t.Error("negative reflectance accepted")
+	}
+}
+
+func TestBuiltinMaterialsValid(t *testing.T) {
+	for _, m := range []Material{
+		MatteWhite(), MatteGray(), MatteRed(), MatteGreen(),
+		MirrorMaterial(), LacqueredWood(), SemiGloss(),
+	} {
+		if !m.Validate() {
+			t.Errorf("built-in material %q violates energy conservation", m.Name)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Diffuse: "diffuse", Mirror: "mirror", Glossy: "glossy", Layered: "layered",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d) = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestAbsorbedPhotonsHaveNoDirection(t *testing.T) {
+	// Pitch black surface: everything absorbed.
+	m := Material{Kind: Diffuse, DiffuseRefl: vecmath.Vec3{}}
+	r := rng.New(10)
+	for i := 0; i < 100; i++ {
+		it := m.Scatter(r, vecmath.V(0, 0, -1), up, basis, 0)
+		if !it.Absorbed {
+			t.Fatal("black surface reflected a photon")
+		}
+	}
+}

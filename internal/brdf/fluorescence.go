@@ -1,0 +1,98 @@
+package brdf
+
+import (
+	"repro/internal/rng"
+	"repro/internal/vecmath"
+)
+
+// Fluorescence is the chapter-6 extension the dissertation foresees: a
+// surface that absorbs power in one colour band and re-emits part of it in
+// another (lower-energy) band. It is modelled as a 3×3 transfer matrix T
+// applied to the photon's RGB power on diffuse bounces:
+//
+//	out = (DiffuseRefl ⊙ in) + T·in
+//
+// Row r, column c of T is the fraction of channel c's incident power
+// re-emitted into channel r. Physical plausibility (no energy creation)
+// requires every column sum of DiffuseRefl + T to stay below 1; photons
+// only shift down in energy (blue → green/red), so the upper triangle
+// (row < column means higher-energy output) must be zero for a physical
+// material — Validate enforces both.
+type Fluorescence struct {
+	T [3][3]float64
+}
+
+// Apply returns T·in.
+func (f *Fluorescence) Apply(in vecmath.Vec3) vecmath.Vec3 {
+	v := [3]float64{in.X, in.Y, in.Z}
+	var out [3]float64
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			out[r] += f.T[r][c] * v[c]
+		}
+	}
+	return vecmath.V(out[0], out[1], out[2])
+}
+
+// Validate reports whether the transfer matrix is physically plausible
+// when combined with the material's diffuse reflectance: non-negative
+// entries, no up-conversion (energy can only shift red-ward: row index
+// must be ≥ column index for a non-zero entry, with RGB ordered
+// blue-last), and total per-channel output below 1.
+func (f *Fluorescence) Validate(diffuse vecmath.Vec3) bool {
+	d := [3]float64{diffuse.X, diffuse.Y, diffuse.Z}
+	for c := 0; c < 3; c++ {
+		colSum := d[c]
+		for r := 0; r < 3; r++ {
+			if f.T[r][c] < 0 {
+				return false
+			}
+			// Channel order is R=0, G=1, B=2; energy increases toward
+			// blue, so emission into a *lower* index (redder) is the only
+			// physical direction: entries above the diagonal (r > c maps
+			// blue input to red output, allowed; r < c would up-convert).
+			if r > c && f.T[r][c] != 0 {
+				// r > c means output channel bluer than input: forbidden.
+				return false
+			}
+			colSum += f.T[r][c]
+		}
+		if colSum >= 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// BlueToGreen returns a classic optical-brightener-style material: a gray
+// diffuse base that converts a fraction of absorbed blue into green glow.
+func BlueToGreen(strength float64) (Material, Fluorescence) {
+	m := Material{
+		Name: "fluorescent-brightener", Kind: Diffuse,
+		DiffuseRefl: vecmath.V(0.5, 0.5, 0.5),
+	}
+	var f Fluorescence
+	f.T[1][2] = strength // blue (c=2) absorbed, green (r=1) emitted
+	return m, f
+}
+
+// ScatterFluorescent performs a diffuse Scatter with the fluorescence
+// transfer applied to the surviving photon's weight. It shares the
+// material's Russian-roulette survival; the fluorescent contribution rides
+// along on surviving photons so photon counts stay unbiased.
+func ScatterFluorescent(m *Material, f *Fluorescence, r *rng.Source, in, n vecmath.Vec3, basis vecmath.ONB, pol float64) Interaction {
+	it := m.Scatter(r, in, n, basis, pol)
+	if it.Absorbed || it.SpecularEvent {
+		return it
+	}
+	// Diffuse bounce: add the wavelength-shifted component, normalized by
+	// the same survival probability as the diffuse lobe so the expected
+	// per-channel transfer equals T exactly.
+	pDiff := m.DiffuseRefl.Luminance()
+	if pDiff <= 0 {
+		return it
+	}
+	shift := f.Apply(vecmath.V(1, 1, 1)).Scale(1 / pDiff)
+	it.Weight = it.Weight.Add(shift)
+	return it
+}

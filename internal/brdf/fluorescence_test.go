@@ -1,0 +1,148 @@
+package brdf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/vecmath"
+)
+
+func TestFluorescenceApply(t *testing.T) {
+	var f Fluorescence
+	f.T[1][2] = 0.3 // blue -> green
+	out := f.Apply(vecmath.V(0, 0, 1))
+	if !out.NearEqual(vecmath.V(0, 0.3, 0), 1e-12) {
+		t.Fatalf("Apply = %v", out)
+	}
+	// Red input passes through a blue->green matrix untouched (zero).
+	if got := f.Apply(vecmath.V(1, 0, 0)); got != (vecmath.Vec3{}) {
+		t.Fatalf("red input produced %v", got)
+	}
+}
+
+func TestFluorescenceValidate(t *testing.T) {
+	m, f := BlueToGreen(0.3)
+	if !f.Validate(m.DiffuseRefl) {
+		t.Fatal("physical brightener rejected")
+	}
+	// Up-conversion (green -> blue) is unphysical.
+	var up Fluorescence
+	up.T[2][1] = 0.2
+	if up.Validate(vecmath.V(0.3, 0.3, 0.3)) {
+		t.Fatal("up-converting material accepted")
+	}
+	// Energy creation: column sum >= 1.
+	var hot Fluorescence
+	hot.T[0][2] = 0.6
+	if hot.Validate(vecmath.V(0.5, 0.5, 0.5)) {
+		t.Fatal("energy-creating material accepted")
+	}
+	// Negative entries.
+	var neg Fluorescence
+	neg.T[0][2] = -0.1
+	if neg.Validate(vecmath.V(0.1, 0.1, 0.1)) {
+		t.Fatal("negative transfer accepted")
+	}
+}
+
+func TestFluorescentScatterShiftsSpectrum(t *testing.T) {
+	// Shine pure blue at a brightener: surviving photons must carry green.
+	m, f := BlueToGreen(0.3)
+	r := rng.New(1)
+	const n = 200000
+	var sum vecmath.Vec3
+	for i := 0; i < n; i++ {
+		it := ScatterFluorescent(&m, &f, r, vecmath.V(0, 0, -1), up, basis, 0)
+		if it.Absorbed {
+			continue
+		}
+		// Incident photon power: pure blue (0,0,1).
+		sum = sum.Add(vecmath.V(0, 0, 1).Mul(it.Weight))
+	}
+	mean := sum.Scale(1.0 / n)
+	// Expected: diffuse reflectance passes 0.5 blue; T adds 0.3 ... but
+	// weight multiplies the *photon's own* channels, so the green transfer
+	// shows up in the weight's G component applied to the blue carrier.
+	// Verify the shifted energy is present: total G-weighted survival of a
+	// blue photon should be near T[1][2] = 0.3 of luminance accounting.
+	if mean.Z < 0.45 || mean.Z > 0.55 {
+		t.Errorf("blue passthrough %v, want ~0.5", mean.Z)
+	}
+}
+
+func TestFluorescentScatterEnergyBounded(t *testing.T) {
+	m, f := BlueToGreen(0.3)
+	r := rng.New(2)
+	const n = 100000
+	var survived float64
+	var totalWeight vecmath.Vec3
+	for i := 0; i < n; i++ {
+		it := ScatterFluorescent(&m, &f, r, vecmath.V(0, 0, -1), up, basis, 0)
+		if it.Absorbed {
+			continue
+		}
+		survived++
+		totalWeight = totalWeight.Add(it.Weight)
+	}
+	// Mean reflected power per incident photon must stay below 1 per
+	// channel (no energy creation).
+	mean := totalWeight.Scale(1.0 / n)
+	if mean.MaxComponent() >= 1 {
+		t.Fatalf("energy created: mean weight %v", mean)
+	}
+	if survived == 0 {
+		t.Fatal("nothing survived")
+	}
+}
+
+func TestFluorescentScatterSpecularUntouched(t *testing.T) {
+	// Fluorescence rides only on diffuse bounces; a mirror material with a
+	// transfer matrix behaves exactly like the plain mirror.
+	m := MirrorMaterial()
+	var f Fluorescence
+	f.T[0][2] = 0.2
+	r1, r2 := rng.New(3), rng.New(3)
+	in := vecmath.V(1, 0, -1).Norm()
+	for i := 0; i < 1000; i++ {
+		a := ScatterFluorescent(&m, &f, r1, in, up, basis, 0)
+		b := m.Scatter(r2, in, up, basis, 0)
+		if a.Absorbed != b.Absorbed {
+			t.Fatal("fluorescence changed mirror survival")
+		}
+		if !a.Absorbed && !a.Weight.NearEqual(b.Weight, 1e-12) {
+			t.Fatal("fluorescence changed mirror weight")
+		}
+	}
+}
+
+func TestFluorescenceExpectedTransfer(t *testing.T) {
+	// The Monte Carlo estimate of the green output from unit blue input
+	// should converge to T[1][2] (the transfer coefficient) plus the
+	// diffuse G reflectance times zero (no green input).
+	m, f := BlueToGreen(0.25)
+	r := rng.New(4)
+	const n = 400000
+	var green float64
+	for i := 0; i < n; i++ {
+		it := ScatterFluorescent(&m, &f, r, vecmath.V(0, 0, -1), up, basis, 0)
+		if it.Absorbed {
+			continue
+		}
+		// Photon carries (0,0,1); after weight, its G channel is the
+		// fluoresced energy... weight.G applies to the photon's G channel
+		// which is zero, so track the weight's G directly scaled by the
+		// photon's blue power.
+		green += it.Weight.Y
+	}
+	got := green / n
+	// E[weight.G per incident photon] = pDiff * (T[1][2]/pDiff) = T[1][2]
+	// ... plus the diffuse G reflectance term (0.5) which applies to the
+	// photon's green channel — measured separately here as the raw G
+	// weight expectation: 0.5 (diffuse) + 0.25 (shift) over survivors,
+	// times survival probability.
+	want := m.DiffuseRefl.Y + f.T[1][2]
+	if math.Abs(got-want) > 0.03*want {
+		t.Fatalf("expected G transfer %v, got %v", want, got)
+	}
+}

@@ -1,0 +1,218 @@
+// Package core implements the sequential Photon engine — the paper's
+// primary contribution (Figure 4.1):
+//
+//	for iphot = 1 to nphot do
+//	    GeneratePhoton(&photon, &bin); UpdateBinCount(&bin)
+//	    while not absorbed:
+//	        DetermineIntersection(photon, &poly)
+//	        DetermineBin(photon, &bin, poly)
+//	        if Reflect(&photon, bin): UpdateBinCount(&bin); Split if needed
+//	        else absorbed
+//
+// Emission and every surviving reflection are tallied into the adaptive 4-D
+// bin forest; the forest *is* the answer — a view-independent discrete
+// radiance function for every surface, queried later by the viewer.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bintree"
+	"repro/internal/emitter"
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/sampler"
+	"repro/internal/scenes"
+	"repro/internal/vecmath"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Photons is the number of photons to emit.
+	Photons int64
+	// Seed selects the random stream.
+	Seed int64
+	// MaxBounces caps a photon's path length as a safety net; Russian
+	// roulette terminates paths naturally long before this.
+	MaxBounces int
+	// Bin configures the histogram forest; zero value means
+	// bintree.DefaultConfig.
+	Bin bintree.Config
+}
+
+// DefaultConfig returns sensible simulation parameters.
+func DefaultConfig(photons int64) Config {
+	return Config{Photons: photons, Seed: 1, MaxBounces: 64, Bin: bintree.DefaultConfig()}
+}
+
+func (c *Config) normalize() {
+	if c.MaxBounces <= 0 {
+		c.MaxBounces = 64
+	}
+	if c.Bin == (bintree.Config{}) {
+		c.Bin = bintree.DefaultConfig()
+	}
+}
+
+// Stats accumulates simulation counters.
+type Stats struct {
+	PhotonsEmitted  int64
+	Reflections     int64 // surviving bounces (tally events beyond emission)
+	Absorptions     int64
+	Escapes         int64 // photons that left the scene (open geometry)
+	BinSplits       int64
+	TotalPathLength int64 // total surface interactions
+}
+
+// Result is a completed simulation.
+type Result struct {
+	Scene  *scenes.Scene
+	Forest *bintree.Forest
+	Stats  Stats
+	// EmittedPhotons is the actual emission count, needed to normalize
+	// radiance queries.
+	EmittedPhotons int64
+}
+
+// Simulator traces photons for one scene. Not safe for concurrent use; the
+// parallel engines build one per worker.
+type Simulator struct {
+	scene   *scenes.Scene
+	emitter *emitter.Emitter
+	cfg     Config
+}
+
+// NewSimulator prepares a simulator.
+func NewSimulator(scene *scenes.Scene, cfg Config) (*Simulator, error) {
+	cfg.normalize()
+	if cfg.Photons <= 0 {
+		return nil, fmt.Errorf("core: Photons must be positive, got %d", cfg.Photons)
+	}
+	em, err := emitter.New(scene.Geom, cfg.Photons)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{scene: scene, emitter: em, cfg: cfg}, nil
+}
+
+// Scene returns the simulator's scene.
+func (s *Simulator) Scene() *scenes.Scene { return s.scene }
+
+// Config returns the simulator's configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// Run executes the full simulation serially and returns the answer forest.
+func Run(scene *scenes.Scene, cfg Config) (*Result, error) {
+	sim, err := NewSimulator(scene, cfg)
+	if err != nil {
+		return nil, err
+	}
+	forest := bintree.NewForest(len(scene.Geom.Patches), sim.cfg.Bin)
+	stream := rng.New(cfg.Seed)
+	var stats Stats
+	for i := int64(0); i < cfg.Photons; i++ {
+		sim.TracePhoton(stream, forest, &stats)
+	}
+	return &Result{
+		Scene: scene, Forest: forest, Stats: stats,
+		EmittedPhotons: stats.PhotonsEmitted,
+	}, nil
+}
+
+// Tally is one bin update: the reflected (or emitted) photon's destination
+// bin and power. The distributed engine routes Tally values between ranks;
+// the serial engine applies them immediately.
+type Tally struct {
+	Patch int32
+	Point bintree.Point
+	Power bintree.RGB
+}
+
+// TracePhoton emits one photon and traces it to absorption, applying every
+// tally to forest and updating stats. This is the exact Figure 4.1 loop.
+func (s *Simulator) TracePhoton(stream *rng.Source, forest *bintree.Forest, stats *Stats) {
+	s.TracePhotonFunc(stream, stats, func(t Tally) {
+		if forest.Add(int(t.Patch), t.Point, t.Power) {
+			stats.BinSplits++
+		}
+	})
+}
+
+// TracePhotonFunc is TracePhoton with tally delivery abstracted: the
+// distributed engine queues tallies for the owning rank instead of applying
+// them locally (Figure 5.3's EnQueue path).
+func (s *Simulator) TracePhotonFunc(stream *rng.Source, stats *Stats, deliver func(Tally)) {
+	// GeneratePhoton + UpdateBinCount for the emission itself.
+	ph, patchIdx, es, et, er2, eth := s.emitter.Generate(stream)
+	stats.PhotonsEmitted++
+	deliver(Tally{
+		Patch: int32(patchIdx),
+		Point: bintree.Point{S: es, T: et, R2: er2, Theta: eth},
+		Power: bintree.RGB{R: ph.Power.X, G: ph.Power.Y, B: ph.Power.Z},
+	})
+
+	var h geom.Hit
+	for bounce := 0; bounce < s.cfg.MaxBounces; bounce++ {
+		// DetermineIntersection: octree ordered traversal.
+		if !s.scene.Geom.Intersect(ph.Ray, &h) {
+			stats.Escapes++
+			return
+		}
+		stats.TotalPathLength++
+
+		// Reflect: material decides absorption and outgoing direction.
+		mat := s.scene.Material(h.Patch.ID)
+		basis := vecmath.ONB{W: h.Normal}
+		if h.FrontFace {
+			basis = h.Patch.Basis()
+		} else {
+			// Back face: flip the frame so W matches the shading normal.
+			fb := h.Patch.Basis()
+			basis = vecmath.ONB{U: fb.U, V: fb.V.Neg(), W: fb.W.Neg()}
+		}
+		it := mat.Scatter(stream, ph.Ray.Dir, h.Normal, basis, ph.Polarization)
+		if it.Absorbed {
+			stats.Absorptions++
+			return
+		}
+
+		// DetermineBin: position (s,t) plus the *outgoing* direction in the
+		// patch's local cylindrical coordinates (Figure 4.5), then
+		// UpdateBinCount via deliver.
+		lx, ly, lz := basis.ToLocal(it.Dir)
+		r2, theta := sampler.CylindricalCoords(vecmath.V(lx, ly, lz))
+		newPower := ph.Power.Mul(it.Weight)
+		deliver(Tally{
+			Patch: int32(h.Patch.ID),
+			Point: bintree.Point{S: h.S, T: h.T2, R2: r2, Theta: theta},
+			Power: bintree.RGB{R: newPower.X, G: newPower.Y, B: newPower.Z},
+		})
+		stats.Reflections++
+
+		// Continue the flight.
+		ph.Ray = vecmath.Ray{Origin: h.Point.Add(it.Dir.Scale(geom.Eps)), Dir: it.Dir}
+		ph.Power = newPower
+		ph.Polarization = it.Polarization
+		ph.Bounces++
+	}
+	// Path length cap reached: count as absorbed.
+	stats.Absorptions++
+}
+
+// Add merges o into st (used when combining per-worker stats).
+func (st *Stats) Add(o Stats) {
+	st.PhotonsEmitted += o.PhotonsEmitted
+	st.Reflections += o.Reflections
+	st.Absorptions += o.Absorptions
+	st.Escapes += o.Escapes
+	st.BinSplits += o.BinSplits
+	st.TotalPathLength += o.TotalPathLength
+}
+
+// MeanPathLength returns the mean surface interactions per photon.
+func (st *Stats) MeanPathLength() float64 {
+	if st.PhotonsEmitted == 0 {
+		return 0
+	}
+	return float64(st.TotalPathLength) / float64(st.PhotonsEmitted)
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/brdf"
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/scenes"
+	"repro/internal/vecmath"
+)
+
+// sunShadowScene builds a floor under a collimated sun panel with a blocker
+// edge at x=5 hovering at the given height. Collimation 0.2 gives an
+// ~11.5-degree cone so the penumbra is resolvable.
+func sunShadowScene(t *testing.T, blockerHeight float64) *scenes.Scene {
+	t.Helper()
+	dark := brdf.Material{Name: "dark", Kind: brdf.Diffuse, DiffuseRefl: vecmath.V(0.15, 0.15, 0.15)}
+	patches := []geom.Patch{
+		// floor
+		{Origin: vecmath.V(0, 0, 0), EdgeS: vecmath.V(10, 0, 0), EdgeT: vecmath.V(0, 10, 0)},
+		// collimated sun panel far overhead, facing down
+		{Origin: vecmath.V(0, 0, 10), EdgeS: vecmath.V(0, 10, 0), EdgeT: vecmath.V(10, 0, 0),
+			Emission: vecmath.V(100, 100, 100), Collimation: 0.2},
+		// blocker: covers x in [0,5], edge at x=5
+		{Origin: vecmath.V(0, 0, blockerHeight), EdgeS: vecmath.V(0, 10, 0), EdgeT: vecmath.V(5, 0, 0)},
+	}
+	g, err := geom.NewScene(patches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &scenes.Scene{Name: "sun-shadow", Geom: g, Materials: []brdf.Material{dark}}
+}
+
+// penumbraWidth measures the 20%-80% transition width of direct floor
+// irradiance across the shadow edge, from raw first-arrival tallies (no
+// adaptive binning involved).
+func penumbraWidth(t *testing.T, blockerHeight float64) float64 {
+	t.Helper()
+	sc := sunShadowScene(t, blockerHeight)
+	sim, err := NewSimulator(sc, DefaultConfig(400000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bins = 100 // x in [3, 8] at 50 mm resolution
+	counts := make([]float64, bins)
+	stream := rng.New(1)
+	var st Stats
+	for i := 0; i < 400000; i++ {
+		sim.TracePhotonFunc(stream, &st, func(ta Tally) {
+			if ta.Patch != 0 {
+				return
+			}
+			x := ta.Point.S * 10 // floor s spans x in [0,10]
+			if x < 3 || x >= 8 {
+				return
+			}
+			counts[int((x-3)/5*bins)] += ta.Power.G
+		})
+	}
+	// Plateau levels from the ends.
+	lit := (counts[bins-1] + counts[bins-2] + counts[bins-3]) / 3
+	dark := (counts[0] + counts[1] + counts[2]) / 3
+	if lit <= dark*2 {
+		t.Fatalf("no shadow contrast: lit %v, dark %v", lit, dark)
+	}
+	lo := dark + 0.2*(lit-dark)
+	hi := dark + 0.8*(lit-dark)
+	// First crossing of lo and hi scanning from the dark side, with a
+	// 3-bin moving average to suppress Monte Carlo noise.
+	smooth := func(i int) float64 {
+		a, n := 0.0, 0.0
+		for j := i - 1; j <= i+1; j++ {
+			if j >= 0 && j < bins {
+				a += counts[j]
+				n++
+			}
+		}
+		return a / n
+	}
+	loX, hiX := -1.0, -1.0
+	for i := 0; i < bins; i++ {
+		v := smooth(i)
+		x := 3 + (float64(i)+0.5)*5/bins
+		if loX < 0 && v >= lo {
+			loX = x
+		}
+		if hiX < 0 && v >= hi {
+			hiX = x
+			break
+		}
+	}
+	if loX < 0 || hiX < 0 {
+		t.Fatal("could not locate the shadow transition")
+	}
+	return hiX - loX
+}
+
+func TestSunShadowsBlurWithOccluderDistance(t *testing.T) {
+	// The paper: the scaled-circle sun "correctly blurs shadows as the
+	// distance from the occluding object increases" — near occluders cast
+	// sharp shadows, high occluders fuzzy ones (the harpsichord vs the
+	// skylight frames in Figure 4.7).
+	near := penumbraWidth(t, 0.8)
+	far := penumbraWidth(t, 3.0)
+	if far <= near {
+		t.Fatalf("penumbra did not grow with occluder height: near %.3f m, far %.3f m", near, far)
+	}
+	// Geometric expectation: width ≈ 2·h·tan(asin(0.2)) ≈ 0.41·h.
+	// Allow generous Monte Carlo tolerance; the ratio should be near
+	// 3.0/0.8 = 3.75.
+	if ratio := far / near; ratio < 1.8 {
+		t.Fatalf("penumbra ratio %.2f too small for 3.75x occluder distance", ratio)
+	}
+}

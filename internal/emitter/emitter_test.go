@@ -1,0 +1,206 @@
+package emitter
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/vecmath"
+)
+
+// twoLightScene has a bright light (area 4, white) and a dim light (area 1,
+// warm), plus a floor so the scene validates.
+func twoLightScene(t testing.TB) *geom.Scene {
+	t.Helper()
+	patches := []geom.Patch{
+		// floor
+		{Origin: vecmath.V(0, 0, 0), EdgeS: vecmath.V(10, 0, 0), EdgeT: vecmath.V(0, 10, 0)},
+		// bright: ceiling panel facing down (normal -z)
+		{Origin: vecmath.V(2, 2, 5), EdgeS: vecmath.V(0, 2, 0), EdgeT: vecmath.V(2, 0, 0),
+			Emission: vecmath.V(1, 1, 1)},
+		// dim warm: area 1
+		{Origin: vecmath.V(7, 7, 5), EdgeS: vecmath.V(0, 1, 0), EdgeT: vecmath.V(1, 0, 0),
+			Emission: vecmath.V(1, 0.6, 0.2)},
+	}
+	s, err := geom.NewScene(patches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidations(t *testing.T) {
+	s := twoLightScene(t)
+	if _, err := New(s, 0); err == nil {
+		t.Error("zero expectedPhotons accepted")
+	}
+	if _, err := New(s, 1000); err != nil {
+		t.Errorf("valid emitter rejected: %v", err)
+	}
+}
+
+func TestTotalPower(t *testing.T) {
+	s := twoLightScene(t)
+	e, _ := New(s, 1000)
+	// bright: area 4 * luminance 1 = 4; dim: area 1 * luminance(1,.6,.2)
+	wantDim := 0.2126*1 + 0.7152*0.6 + 0.0722*0.2
+	if got := e.TotalPower(); math.Abs(got-(4+wantDim)) > 1e-9 {
+		t.Fatalf("total power = %v, want %v", got, 4+wantDim)
+	}
+}
+
+func TestLuminaireSelectionProportionalToPower(t *testing.T) {
+	s := twoLightScene(t)
+	e, _ := New(s, 1000)
+	r := rng.New(1)
+	counts := map[int]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		_, idx, _, _, _, _ := e.Generate(r)
+		counts[idx]++
+	}
+	wantDim := 0.2126 + 0.7152*0.6 + 0.0722*0.2
+	wantFrac := 4 / (4 + wantDim)
+	gotFrac := float64(counts[1]) / n
+	if math.Abs(gotFrac-wantFrac) > 0.01 {
+		t.Fatalf("bright light got %v of photons, want %v", gotFrac, wantFrac)
+	}
+	if counts[0] > 0 {
+		t.Fatal("non-luminaire emitted photons")
+	}
+}
+
+func TestPhotonsStartOnLuminaire(t *testing.T) {
+	s := twoLightScene(t)
+	e, _ := New(s, 1000)
+	r := rng.New(2)
+	for i := 0; i < 5000; i++ {
+		ph, idx, ps, pt, _, _ := e.Generate(r)
+		p := &s.Patches[idx]
+		want := p.Point(ps, pt)
+		// Origin is nudged along the direction by Eps; undo that.
+		back := ph.Ray.Origin.Sub(ph.Ray.Dir.Scale(geom.Eps))
+		if !back.NearEqual(want, 1e-9) {
+			t.Fatalf("photon origin %v does not match Point(%v,%v) = %v", back, ps, pt, want)
+		}
+	}
+}
+
+func TestEmissionOnFrontSide(t *testing.T) {
+	s := twoLightScene(t)
+	e, _ := New(s, 1000)
+	r := rng.New(3)
+	for i := 0; i < 10000; i++ {
+		ph, idx, _, _, _, _ := e.Generate(r)
+		n := s.Patches[idx].Normal()
+		if ph.Ray.Dir.Dot(n) <= 0 {
+			t.Fatalf("photon emitted into the surface: dir %v normal %v", ph.Ray.Dir, n)
+		}
+		if math.Abs(ph.Ray.Dir.Len()-1) > 1e-9 {
+			t.Fatalf("non-unit direction %v", ph.Ray.Dir)
+		}
+	}
+}
+
+func TestCeilingLightsPointDown(t *testing.T) {
+	// The two-light scene's panels have -z normals; every photon must go
+	// down.
+	s := twoLightScene(t)
+	e, _ := New(s, 1000)
+	r := rng.New(4)
+	for i := 0; i < 5000; i++ {
+		ph, _, _, _, _, _ := e.Generate(r)
+		if ph.Ray.Dir.Z >= 0 {
+			t.Fatalf("ceiling photon going up: %v", ph.Ray.Dir)
+		}
+	}
+}
+
+func TestPowerBudgetTotalsScenePower(t *testing.T) {
+	s := twoLightScene(t)
+	const n = 50000
+	e, _ := New(s, n)
+	r := rng.New(5)
+	var lum float64
+	for i := 0; i < n; i++ {
+		ph, _, _, _, _, _ := e.Generate(r)
+		lum += ph.Power.Luminance()
+	}
+	if math.Abs(lum-e.TotalPower()) > 0.01*e.TotalPower() {
+		t.Fatalf("emitted luminance %v, want scene power %v", lum, e.TotalPower())
+	}
+}
+
+func TestDimLightColourPreserved(t *testing.T) {
+	s := twoLightScene(t)
+	e, _ := New(s, 1000)
+	r := rng.New(6)
+	for i := 0; i < 20000; i++ {
+		ph, idx, _, _, _, _ := e.Generate(r)
+		if idx != 2 {
+			continue
+		}
+		// Colour ratio must match the luminaire's emission ratio.
+		if math.Abs(ph.Power.Y/ph.Power.X-0.6) > 1e-9 {
+			t.Fatalf("photon colour %v does not match luminaire ratio", ph.Power)
+		}
+		return
+	}
+	t.Fatal("dim light never selected in 20000 draws")
+}
+
+func TestCollimatedEmissionStaysInCone(t *testing.T) {
+	patches := []geom.Patch{
+		{Origin: vecmath.V(0, 0, 0), EdgeS: vecmath.V(10, 0, 0), EdgeT: vecmath.V(0, 10, 0)},
+		// sun panel with 0.1 collimation, normal -z
+		{Origin: vecmath.V(0, 0, 20), EdgeS: vecmath.V(0, 10, 0), EdgeT: vecmath.V(10, 0, 0),
+			Emission: vecmath.V(1, 1, 0.9), Collimation: 0.1},
+	}
+	s, err := geom.NewScene(patches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := New(s, 1000)
+	r := rng.New(7)
+	n := s.Patches[1].Normal()
+	minCos := math.Cos(math.Asin(0.1))
+	for i := 0; i < 20000; i++ {
+		ph, _, _, _, _, _ := e.Generate(r)
+		if cos := ph.Ray.Dir.Dot(n); cos < minCos-1e-9 {
+			t.Fatalf("collimated photon outside cone: cos=%v", cos)
+		}
+	}
+}
+
+func TestEmissionBinCoordinatesInRange(t *testing.T) {
+	s := twoLightScene(t)
+	e, _ := New(s, 1000)
+	r := rng.New(8)
+	for i := 0; i < 10000; i++ {
+		_, _, ps, pt, r2, theta := e.Generate(r)
+		if ps < 0 || ps >= 1 || pt < 0 || pt >= 1 {
+			t.Fatalf("(s,t) out of range: %v %v", ps, pt)
+		}
+		if r2 < 0 || r2 > 1 {
+			t.Fatalf("r2 out of range: %v", r2)
+		}
+		if theta < 0 || theta >= 2*math.Pi {
+			t.Fatalf("theta out of range: %v", theta)
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	s := twoLightScene(t)
+	e1, _ := New(s, 1000)
+	e2, _ := New(s, 1000)
+	r1, r2 := rng.New(99), rng.New(99)
+	for i := 0; i < 1000; i++ {
+		p1, i1, _, _, _, _ := e1.Generate(r1)
+		p2, i2, _, _, _, _ := e2.Generate(r2)
+		if i1 != i2 || p1.Ray != p2.Ray {
+			t.Fatal("emission not deterministic under equal seeds")
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment tests assert the paper's qualitative shapes at reduced
+// photon budgets, so the whole file runs in tens of seconds.
+
+func TestTable51Shapes(t *testing.T) {
+	r, err := Table51(60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Values["defining-Cornell"] < 25 || r.Values["defining-Cornell"] > 36 {
+		t.Errorf("Cornell defining polygons %v", r.Values["defining-Cornell"])
+	}
+	if r.Values["defining-Computer"] < 1700 || r.Values["defining-Computer"] > 2300 {
+		t.Errorf("Computer Lab defining polygons %v", r.Values["defining-Computer"])
+	}
+	// View-dependent (leaf) counts dwarf defining counts for the mirror
+	// scene and the lab.
+	if r.Values["leaves-Cornell"] < 3*r.Values["defining-Cornell"] {
+		t.Errorf("Cornell leaves %v not >> defining %v",
+			r.Values["leaves-Cornell"], r.Values["defining-Cornell"])
+	}
+	if !strings.Contains(r.Text, "Cornell Box") {
+		t.Error("text missing rows")
+	}
+}
+
+func TestTable52BinPackingWins(t *testing.T) {
+	r, err := Table52(60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := r.Values["naive-maxmin"]
+	packed := r.Values["packed-maxmin"]
+	if packed >= naive {
+		t.Fatalf("bin packing max/min %v not below naive %v", packed, naive)
+	}
+	if naive < 1.25 {
+		t.Errorf("naive max/min %v suspiciously balanced; paper shows 1.92", naive)
+	}
+	if packed > 1.6 {
+		t.Errorf("bin-packed max/min %v too imbalanced; paper shows 1.04", packed)
+	}
+}
+
+func TestTable53Equilibria(t *testing.T) {
+	r, err := Table53()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Values["onyx-final"] < 5000 {
+		t.Errorf("Onyx final batch %v; paper reaches 11337", r.Values["onyx-final"])
+	}
+	if v := r.Values["sp2-final"]; v < 700 || v > 3500 {
+		t.Errorf("SP-2 final batch %v; paper settles at 1657", v)
+	}
+	if v := r.Values["indy-final"]; v < 700 || v > 3500 {
+		t.Errorf("Indy final batch %v; paper settles at 1518", v)
+	}
+}
+
+func TestFig43KernelSpeedup(t *testing.T) {
+	r, err := Fig43Kernels(400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Values["speedup"] < 1.2 {
+		t.Errorf("measured kernel speedup %v; paper reports ~2x", r.Values["speedup"])
+	}
+	if r.Values["flop-ratio"] < 1.5 {
+		t.Errorf("flop-model ratio %v", r.Values["flop-ratio"])
+	}
+}
+
+func TestFig54SubLinearGrowth(t *testing.T) {
+	r, err := Fig54Memory(200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Values["second-half-growth"] >= r.Values["first-half-growth"] {
+		t.Fatalf("memory growth not sub-linear: first half %v MB, second half %v MB",
+			r.Values["first-half-growth"], r.Values["second-half-growth"])
+	}
+	if r.Values["final-mb"] <= 0 {
+		t.Fatal("no memory recorded")
+	}
+}
+
+func TestFig56to58SpeedupOrdering(t *testing.T) {
+	r := Fig56to58Shared(200)
+	cb := r.Values["cornell-box-speedup-8"]
+	hr := r.Values["harpsichord-room-speedup-8"]
+	cl := r.Values["computer-lab-speedup-8"]
+	if !(cb < hr && hr < cl) {
+		t.Fatalf("shared-memory scalability not ordered by scene size: %v %v %v", cb, hr, cl)
+	}
+}
+
+func TestFig59to511IndySuperlinear(t *testing.T) {
+	r := Fig59to511Indy(200)
+	if v := r.Values["harpsichord-room-speedup-2"]; v <= 2 {
+		t.Fatalf("Indy 2-proc harpsichord speedup %v; paper shows superlinear", v)
+	}
+}
+
+func TestFig512to514SP2Dip(t *testing.T) {
+	r := Fig512to514SP2(200)
+	s2 := r.Values["cornell-box-speedup-2"]
+	s4 := r.Values["cornell-box-speedup-4"]
+	s64 := r.Values["cornell-box-speedup-64"]
+	if s4/s2 > 1.6 {
+		t.Fatalf("no 2->4 shift: s2=%v s4=%v", s2, s4)
+	}
+	if s64 < 8 {
+		t.Fatalf("SP-2 does not scale to 64: %v", s64)
+	}
+}
+
+func TestFig515GridComplete(t *testing.T) {
+	r := Fig515GraphOfGraphs(200)
+	if len(r.Values) != 9 {
+		t.Fatalf("grid has %d cells, want 9", len(r.Values))
+	}
+	for k, v := range r.Values {
+		if v <= 0 {
+			t.Errorf("cell %s speedup %v", k, v)
+		}
+	}
+}
+
+func TestFig516MorePhotonsLessNoise(t *testing.T) {
+	r, err := Fig516Visual(60) // stronger scale-down for test speed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Values["photons-8"] <= r.Values["photons-1"] {
+		t.Fatalf("8 procs got %v photons vs 1 proc %v", r.Values["photons-8"], r.Values["photons-1"])
+	}
+	if r.Values["rmse-8"] >= r.Values["rmse-1"] {
+		t.Fatalf("8-proc image RMSE %v not below 1-proc %v", r.Values["rmse-8"], r.Values["rmse-1"])
+	}
+}
+
+func TestFig24Ringing(t *testing.T) {
+	r := Fig24SphHarm()
+	if r.Values["undershoot"] < 0.02 {
+		t.Errorf("30-term undershoot %v; Figure 2.4 shows visible dips below zero", r.Values["undershoot"])
+	}
+	if r.Values["peak"] > 0.95 {
+		t.Errorf("30-term peak %v; the spike should be underresolved", r.Values["peak"])
+	}
+}
+
+func TestFig410ViewsNonTrivial(t *testing.T) {
+	r, err := Fig410Viewpoints(80000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if r.Values[lumKey(i)] < 2 {
+			t.Errorf("viewpoint %d nearly black: %v", i, r.Values[lumKey(i)])
+		}
+	}
+	// Rendering is far cheaper than simulating.
+	var renderTotal float64
+	for i := 1; i <= 4; i++ {
+		renderTotal += r.Values[renderKey(i)]
+	}
+	if renderTotal > r.Values["sim-ms"] {
+		t.Errorf("4 renders (%v ms) cost more than the simulation (%v ms)", renderTotal, r.Values["sim-ms"])
+	}
+}
+
+func lumKey(i int) string    { return "lum-" + string(rune('0'+i)) }
+func renderKey(i int) string { return "render-ms-" + string(rune('0'+i)) }
+
+func TestDensityComparisonShapes(t *testing.T) {
+	r, err := DensityComparison(50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Values["trace-speedup"] < 14 {
+		t.Errorf("tracing speedup %v; paper ~15 on 16", r.Values["trace-speedup"])
+	}
+	if r.Values["mesh-speedup"] >= r.Values["trace-speedup"] {
+		t.Errorf("meshing speedup %v should trail tracing %v",
+			r.Values["mesh-speedup"], r.Values["trace-speedup"])
+	}
+	if r.Values["storage-ratio"] < 10 {
+		t.Errorf("storage ratio %v; paper claims 1-2 orders of magnitude", r.Values["storage-ratio"])
+	}
+}
+
+func TestRadiosityBaselineShapes(t *testing.T) {
+	r, err := RadiosityBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Values["gs-iters"] > r.Values["jacobi-iters"] {
+		t.Errorf("Gauss-Seidel (%v) slower than Jacobi (%v)", r.Values["gs-iters"], r.Values["jacobi-iters"])
+	}
+	if r.Values["hr-tight"] <= r.Values["hr-loose"] {
+		t.Errorf("no patch proliferation: tight %v vs loose %v", r.Values["hr-tight"], r.Values["hr-loose"])
+	}
+}
+
+func TestGeoDistributionAgreesAcrossEngines(t *testing.T) {
+	r, err := GeoDistribution(30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := r.Values["repl-path"], r.Values["geo-path"]
+	if a <= 0 || b <= 0 {
+		t.Fatalf("degenerate path lengths: %v %v", a, b)
+	}
+	if d := a - b; d > 0.08*a || d < -0.08*a {
+		t.Fatalf("engines disagree: replicated %v, geo %v", a, b)
+	}
+	if r.Values["geo-forwards"] == 0 {
+		t.Fatal("geo engine forwarded no photons")
+	}
+}
+
+func TestByIDAndIDsConsistent(t *testing.T) {
+	for _, id := range IDs() {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("IDs() lists %q but ByID does not resolve it", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown id resolved")
+	}
+}

@@ -1,0 +1,228 @@
+package geom
+
+import (
+	"sort"
+
+	"repro/internal/vecmath"
+)
+
+// OctreeConfig controls octree construction.
+type OctreeConfig struct {
+	// MaxDepth bounds recursion; leaves at MaxDepth hold however many
+	// patches remain.
+	MaxDepth int
+	// LeafTarget is the patch count below which a node stays a leaf.
+	LeafTarget int
+}
+
+// DefaultOctreeConfig returns the construction parameters used throughout
+// the system; they are tuned for scenes of tens to thousands of defining
+// polygons (Table 5.1's range).
+func DefaultOctreeConfig() OctreeConfig {
+	return OctreeConfig{MaxDepth: 10, LeafTarget: 8}
+}
+
+// Octree is the paper's spatial index: it "orders the intersection testing
+// for a given photon such that we only test polygons in the space the photon
+// is traveling through. When an intersection is detected, it is the closest
+// intersection and further testing is not needed."
+type Octree struct {
+	root    *octNode
+	patches []Patch // scene patch storage; nodes refer by index
+	nodes   int
+	leaves  int
+	depth   int
+}
+
+type octNode struct {
+	bounds   vecmath.AABB
+	children *[8]*octNode // nil for leaves
+	items    []int32      // patch indices (leaves only)
+}
+
+// BuildOctree constructs an octree over the patches. Patches are stored in
+// every leaf whose cell their bounding box overlaps, so boundary-spanning
+// polygons are never missed.
+func BuildOctree(patches []Patch, cfg OctreeConfig) *Octree {
+	o := &Octree{patches: patches}
+	bounds := vecmath.EmptyAABB()
+	for i := range patches {
+		bounds = bounds.Union(patches[i].Bounds())
+	}
+	bounds = bounds.Pad(1e-9 + 1e-6*bounds.Size().MaxComponent())
+	all := make([]int32, len(patches))
+	for i := range all {
+		all[i] = int32(i)
+	}
+	o.root = o.build(bounds, all, 0, cfg)
+	return o
+}
+
+func (o *Octree) build(bounds vecmath.AABB, items []int32, depth int, cfg OctreeConfig) *octNode {
+	o.nodes++
+	if depth > o.depth {
+		o.depth = depth
+	}
+	n := &octNode{bounds: bounds}
+	if len(items) <= cfg.LeafTarget || depth >= cfg.MaxDepth {
+		n.items = items
+		o.leaves++
+		return n
+	}
+	var children [8]*octNode
+	allSame := true
+	for i := 0; i < 8; i++ {
+		cell := bounds.Octant(i)
+		var sub []int32
+		for _, idx := range items {
+			if o.patches[idx].Bounds().Overlaps(cell) {
+				sub = append(sub, idx)
+			}
+		}
+		if len(sub) != len(items) {
+			allSame = false
+		}
+		children[i] = o.build(cell, sub, depth+1, cfg)
+	}
+	if allSame {
+		// Subdividing did not separate anything (e.g. a large patch spans
+		// every octant); stop to avoid useless depth. Roll back child
+		// bookkeeping.
+		o.nodes -= 8
+		o.leaves -= countLeaves(&children)
+		n.items = items
+		o.leaves++
+		return n
+	}
+	n.children = &children
+	return n
+}
+
+func countLeaves(ch *[8]*octNode) int {
+	total := 0
+	for _, c := range ch {
+		if c == nil {
+			continue
+		}
+		if c.children == nil {
+			total++
+		} else {
+			total += countLeaves(c.children)
+		}
+	}
+	return total
+}
+
+// Stats returns (node count, leaf count, max depth) for diagnostics.
+func (o *Octree) Stats() (nodes, leaves, depth int) {
+	return o.nodes, o.leaves, o.depth
+}
+
+// Intersect finds the closest hit along r within (tMin, tMax) using ordered
+// front-to-back traversal, so descent terminates as soon as a hit closer
+// than the next cell's entry distance is known.
+func (o *Octree) Intersect(r vecmath.Ray, tMin, tMax float64, h *Hit) bool {
+	_, _, ok := o.root.bounds.IntersectRay(r, tMin, tMax)
+	if !ok {
+		return false
+	}
+	best := tMax
+	found := o.intersectNode(o.root, r, tMin, &best, h)
+	return found
+}
+
+type childOrder struct {
+	node *octNode
+	t0   float64
+}
+
+func (o *Octree) intersectNode(n *octNode, r vecmath.Ray, tMin float64, best *float64, h *Hit) bool {
+	if n.children == nil {
+		found := false
+		var tmp Hit
+		for _, idx := range n.items {
+			if o.patches[idx].Intersect(r, tMin, *best, &tmp) {
+				// A patch stored in this leaf may be hit outside the leaf's
+				// cell (patches span cells); that is fine — *best only
+				// shrinks, and correctness never depends on the hit being
+				// inside this cell.
+				*h = tmp
+				*best = tmp.T
+				found = true
+			}
+		}
+		return found
+	}
+	// Order children by entry distance and visit front to back.
+	var order [8]childOrder
+	cnt := 0
+	for _, c := range n.children {
+		if c == nil || (c.children == nil && len(c.items) == 0) {
+			continue
+		}
+		t0, _, ok := c.bounds.IntersectRay(r, tMin, *best)
+		if !ok {
+			continue
+		}
+		order[cnt] = childOrder{node: c, t0: t0}
+		cnt++
+	}
+	sort.Slice(order[:cnt], func(i, j int) bool { return order[i].t0 < order[j].t0 })
+	found := false
+	for i := 0; i < cnt; i++ {
+		if order[i].t0 > *best {
+			break // every later cell is entered beyond the best hit
+		}
+		if o.intersectNode(order[i].node, r, tMin, best, h) {
+			found = true
+		}
+	}
+	return found
+}
+
+// RegionOf returns the index (0..7) of the root octant containing p, or -1
+// if p lies outside the octree bounds. The geometry-distribution extension
+// (chapter 6) partitions space ownership by root octant.
+func (o *Octree) RegionOf(p vecmath.Vec3) int {
+	if !o.root.bounds.Contains(p) {
+		return -1
+	}
+	c := o.root.bounds.Center()
+	i := 0
+	if p.X >= c.X {
+		i |= 1
+	}
+	if p.Y >= c.Y {
+		i |= 2
+	}
+	if p.Z >= c.Z {
+		i |= 4
+	}
+	return i
+}
+
+// Bounds returns the root bounds of the octree.
+func (o *Octree) Bounds() vecmath.AABB { return o.root.bounds }
+
+// MemoryEstimate returns a rough byte count for the index, used by the
+// memory-growth experiment to separate geometry storage (constant) from the
+// bin forest (growing).
+func (o *Octree) MemoryEstimate() int64 {
+	var walk func(n *octNode) int64
+	walk = func(n *octNode) int64 {
+		size := int64(64) // node struct
+		size += int64(len(n.items)) * 4
+		if n.children != nil {
+			for _, c := range n.children {
+				if c != nil {
+					size += walk(c)
+				}
+			}
+		}
+		return size
+	}
+	if o.root == nil {
+		return 0
+	}
+	return walk(o.root)
+}

@@ -1,0 +1,161 @@
+// Package geom provides the geometric substrate of the Photon simulator:
+// planar parallelogram patches with the bilinear (s,t) parameterization the
+// 4-D histogram bins require, a scene container, and the octree spatial
+// index the paper uses to order intersection tests front-to-back so the
+// first hit found is the closest hit.
+package geom
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vecmath"
+)
+
+// Patch is a planar parallelogram: the "defining polygon" of the paper. A
+// point on the patch is Origin + s·EdgeS + t·EdgeT with bilinear parameters
+// s,t ∈ [0,1] — exactly the first two dimensions of the histogram bins.
+type Patch struct {
+	// ID is the patch's index within its scene; bin forests and load
+	// balancing key on it.
+	ID int
+
+	// Origin is the s=t=0 corner.
+	Origin vecmath.Vec3
+	// EdgeS and EdgeT span the parallelogram.
+	EdgeS, EdgeT vecmath.Vec3
+
+	// Material indexes the scene's material table.
+	Material int
+
+	// Emission is the RGB radiant exitance of the patch; a zero value means
+	// the patch is not a luminaire. Collimation restricts the emission cone
+	// (1 = fully diffuse; sampler.SunScale = solar collimation).
+	Emission    vecmath.Vec3
+	Collimation float64
+
+	// Derived quantities, populated by Finish.
+	normal vecmath.Vec3
+	area   float64
+	basis  vecmath.ONB
+}
+
+// Finish computes the derived fields (normal, area, local basis). It must be
+// called after the defining fields change; NewScene calls it for every patch.
+func (p *Patch) Finish() error {
+	n := p.EdgeS.Cross(p.EdgeT)
+	a := n.Len()
+	if a == 0 {
+		return fmt.Errorf("geom: patch %d is degenerate (zero area)", p.ID)
+	}
+	p.normal = n.Scale(1 / a)
+	p.area = a
+	p.basis = vecmath.ONB{U: p.EdgeS.Norm(), W: p.normal}
+	p.basis.V = p.normal.Cross(p.basis.U)
+	if p.Collimation == 0 {
+		p.Collimation = 1
+	}
+	return nil
+}
+
+// Normal returns the unit front-face normal (EdgeS × EdgeT, right-handed).
+func (p *Patch) Normal() vecmath.Vec3 { return p.normal }
+
+// Area returns the patch area.
+func (p *Patch) Area() float64 { return p.area }
+
+// Basis returns the local orthonormal frame: U along EdgeS, W the normal.
+func (p *Patch) Basis() vecmath.ONB { return p.basis }
+
+// IsLuminaire reports whether the patch emits light.
+func (p *Patch) IsLuminaire() bool {
+	return p.Emission.X > 0 || p.Emission.Y > 0 || p.Emission.Z > 0
+}
+
+// Point returns the world-space point at bilinear coordinates (s, t).
+func (p *Patch) Point(s, t float64) vecmath.Vec3 {
+	return p.Origin.Add(p.EdgeS.Scale(s)).Add(p.EdgeT.Scale(t))
+}
+
+// Centroid returns the patch center.
+func (p *Patch) Centroid() vecmath.Vec3 { return p.Point(0.5, 0.5) }
+
+// Bounds returns the patch's axis-aligned bounding box.
+func (p *Patch) Bounds() vecmath.AABB {
+	b := vecmath.EmptyAABB()
+	for _, c := range [4]vecmath.Vec3{
+		p.Point(0, 0), p.Point(1, 0), p.Point(0, 1), p.Point(1, 1),
+	} {
+		b = b.Extend(c)
+	}
+	return b
+}
+
+// Params inverts the bilinear map for a world point already known to lie on
+// the patch plane, returning (s, t). Used by the viewer when it must locate
+// the bin for an arbitrary hit point.
+func (p *Patch) Params(world vecmath.Vec3) (s, t float64) {
+	d := world.Sub(p.Origin)
+	// Solve d = s*EdgeS + t*EdgeT in the patch plane by normal equations.
+	a11 := p.EdgeS.Dot(p.EdgeS)
+	a12 := p.EdgeS.Dot(p.EdgeT)
+	a22 := p.EdgeT.Dot(p.EdgeT)
+	b1 := d.Dot(p.EdgeS)
+	b2 := d.Dot(p.EdgeT)
+	det := a11*a22 - a12*a12
+	if det == 0 {
+		return 0, 0
+	}
+	s = (b1*a22 - b2*a12) / det
+	t = (b2*a11 - b1*a12) / det
+	return s, t
+}
+
+// Hit describes a ray-patch intersection.
+type Hit struct {
+	Patch *Patch
+	T     float64      // ray parameter of the hit
+	Point vecmath.Vec3 // world-space hit point
+	S, T2 float64      // bilinear coordinates on the patch
+	// Normal is the geometric normal flipped to face the incoming ray
+	// (patches are two-sided).
+	Normal vecmath.Vec3
+	// FrontFace reports whether the ray struck the front (EdgeS × EdgeT)
+	// side of the patch.
+	FrontFace bool
+}
+
+// Eps is the ray-offset epsilon used to avoid re-intersecting the surface a
+// photon just left.
+const Eps = 1e-9
+
+// Intersect tests the ray against the patch over (tMin, tMax). It reports
+// whether a hit occurred and fills h.
+func (p *Patch) Intersect(r vecmath.Ray, tMin, tMax float64, h *Hit) bool {
+	denom := r.Dir.Dot(p.normal)
+	if math.Abs(denom) < 1e-14 {
+		return false // ray parallel to the patch plane
+	}
+	t := p.Origin.Sub(r.Origin).Dot(p.normal) / denom
+	if t <= tMin || t >= tMax {
+		return false
+	}
+	world := r.At(t)
+	s, u := p.Params(world)
+	const pad = 1e-9 // tolerate boundary round-off
+	if s < -pad || s > 1+pad || u < -pad || u > 1+pad {
+		return false
+	}
+	h.Patch = p
+	h.T = t
+	h.Point = world
+	h.S = vecmath.Clamp(s, 0, 1)
+	h.T2 = vecmath.Clamp(u, 0, 1)
+	h.FrontFace = denom < 0
+	if h.FrontFace {
+		h.Normal = p.normal
+	} else {
+		h.Normal = p.normal.Neg()
+	}
+	return true
+}

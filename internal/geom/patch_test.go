@@ -1,0 +1,219 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vecmath"
+)
+
+func unitSquare() *Patch {
+	p := &Patch{
+		Origin: vecmath.V(0, 0, 0),
+		EdgeS:  vecmath.V(1, 0, 0),
+		EdgeT:  vecmath.V(0, 1, 0),
+	}
+	if err := p.Finish(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestFinishDerivedQuantities(t *testing.T) {
+	p := unitSquare()
+	if !p.Normal().NearEqual(vecmath.V(0, 0, 1), 1e-12) {
+		t.Errorf("normal = %v", p.Normal())
+	}
+	if math.Abs(p.Area()-1) > 1e-12 {
+		t.Errorf("area = %v", p.Area())
+	}
+	b := p.Basis()
+	if !b.W.NearEqual(p.Normal(), 1e-12) {
+		t.Errorf("basis W = %v", b.W)
+	}
+	if math.Abs(b.U.Dot(b.V)) > 1e-12 || math.Abs(b.U.Dot(b.W)) > 1e-12 {
+		t.Error("basis not orthogonal")
+	}
+}
+
+func TestFinishRejectsDegenerate(t *testing.T) {
+	p := &Patch{EdgeS: vecmath.V(1, 0, 0), EdgeT: vecmath.V(2, 0, 0)}
+	if err := p.Finish(); err == nil {
+		t.Fatal("degenerate patch accepted")
+	}
+}
+
+func TestFinishDefaultsCollimation(t *testing.T) {
+	p := unitSquare()
+	if p.Collimation != 1 {
+		t.Fatalf("collimation defaulted to %v, want 1", p.Collimation)
+	}
+}
+
+func TestPointCorners(t *testing.T) {
+	p := &Patch{
+		Origin: vecmath.V(1, 2, 3),
+		EdgeS:  vecmath.V(2, 0, 0),
+		EdgeT:  vecmath.V(0, 3, 0),
+	}
+	if err := p.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Point(0, 0); !got.NearEqual(vecmath.V(1, 2, 3), 1e-12) {
+		t.Errorf("P(0,0) = %v", got)
+	}
+	if got := p.Point(1, 1); !got.NearEqual(vecmath.V(3, 5, 3), 1e-12) {
+		t.Errorf("P(1,1) = %v", got)
+	}
+	if got := p.Centroid(); !got.NearEqual(vecmath.V(2, 3.5, 3), 1e-12) {
+		t.Errorf("Centroid = %v", got)
+	}
+}
+
+func TestParamsInvertsPoint(t *testing.T) {
+	// Non-axis-aligned, non-square patch: Params must invert Point.
+	p := &Patch{
+		Origin: vecmath.V(1, -1, 2),
+		EdgeS:  vecmath.V(2, 1, 0),
+		EdgeT:  vecmath.V(-0.5, 2, 1),
+	}
+	if err := p.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	f := func(su, tu float64) bool {
+		s := math.Abs(math.Mod(su, 1))
+		u := math.Abs(math.Mod(tu, 1))
+		gs, gt := p.Params(p.Point(s, u))
+		return math.Abs(gs-s) < 1e-9 && math.Abs(gt-u) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectStraightOn(t *testing.T) {
+	p := unitSquare()
+	r := vecmath.Ray{Origin: vecmath.V(0.25, 0.75, 2), Dir: vecmath.V(0, 0, -1)}
+	var h Hit
+	if !p.Intersect(r, 0, math.Inf(1), &h) {
+		t.Fatal("expected hit")
+	}
+	if math.Abs(h.T-2) > 1e-12 {
+		t.Errorf("t = %v", h.T)
+	}
+	if math.Abs(h.S-0.25) > 1e-12 || math.Abs(h.T2-0.75) > 1e-12 {
+		t.Errorf("(s,t) = (%v,%v)", h.S, h.T2)
+	}
+	if !h.FrontFace {
+		t.Error("ray from +Z should hit the front face")
+	}
+	if !h.Normal.NearEqual(vecmath.V(0, 0, 1), 1e-12) {
+		t.Errorf("normal = %v", h.Normal)
+	}
+}
+
+func TestIntersectBackFaceFlipsNormal(t *testing.T) {
+	p := unitSquare()
+	r := vecmath.Ray{Origin: vecmath.V(0.5, 0.5, -1), Dir: vecmath.V(0, 0, 1)}
+	var h Hit
+	if !p.Intersect(r, 0, math.Inf(1), &h) {
+		t.Fatal("expected hit")
+	}
+	if h.FrontFace {
+		t.Error("ray from -Z should hit the back face")
+	}
+	if !h.Normal.NearEqual(vecmath.V(0, 0, -1), 1e-12) {
+		t.Errorf("normal = %v, should face the ray", h.Normal)
+	}
+}
+
+func TestIntersectMissesOutsideBounds(t *testing.T) {
+	p := unitSquare()
+	r := vecmath.Ray{Origin: vecmath.V(1.5, 0.5, 1), Dir: vecmath.V(0, 0, -1)}
+	var h Hit
+	if p.Intersect(r, 0, math.Inf(1), &h) {
+		t.Fatal("hit outside the parallelogram")
+	}
+}
+
+func TestIntersectParallelRayMisses(t *testing.T) {
+	p := unitSquare()
+	r := vecmath.Ray{Origin: vecmath.V(0.5, 0.5, 1), Dir: vecmath.V(1, 0, 0)}
+	var h Hit
+	if p.Intersect(r, 0, math.Inf(1), &h) {
+		t.Fatal("parallel ray reported a hit")
+	}
+}
+
+func TestIntersectRespectsTRange(t *testing.T) {
+	p := unitSquare()
+	r := vecmath.Ray{Origin: vecmath.V(0.5, 0.5, 2), Dir: vecmath.V(0, 0, -1)}
+	var h Hit
+	if p.Intersect(r, 0, 1.5, &h) {
+		t.Fatal("hit beyond tMax accepted")
+	}
+	if p.Intersect(r, 2.5, math.Inf(1), &h) {
+		t.Fatal("hit before tMin accepted")
+	}
+}
+
+func TestIntersectBehindOriginMisses(t *testing.T) {
+	p := unitSquare()
+	r := vecmath.Ray{Origin: vecmath.V(0.5, 0.5, -3), Dir: vecmath.V(0, 0, -1)}
+	var h Hit
+	if p.Intersect(r, 0, math.Inf(1), &h) {
+		t.Fatal("patch behind the ray origin reported hit")
+	}
+}
+
+func TestSlantedPatchIntersection(t *testing.T) {
+	// 45-degree slanted patch.
+	p := &Patch{
+		Origin: vecmath.V(0, 0, 0),
+		EdgeS:  vecmath.V(1, 0, 1),
+		EdgeT:  vecmath.V(0, 1, 0),
+	}
+	if err := p.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	r := vecmath.Ray{Origin: vecmath.V(0.5, 0.5, 2), Dir: vecmath.V(0, 0, -1)}
+	var h Hit
+	if !p.Intersect(r, 0, math.Inf(1), &h) {
+		t.Fatal("expected hit on slanted patch")
+	}
+	if math.Abs(h.Point.Z-0.5) > 1e-9 {
+		t.Errorf("hit point %v, want z=0.5", h.Point)
+	}
+	if math.Abs(h.S-0.5) > 1e-9 || math.Abs(h.T2-0.5) > 1e-9 {
+		t.Errorf("(s,t) = (%v,%v)", h.S, h.T2)
+	}
+}
+
+func TestBoundsContainCorners(t *testing.T) {
+	p := &Patch{
+		Origin: vecmath.V(1, 2, 3),
+		EdgeS:  vecmath.V(-2, 1, 0),
+		EdgeT:  vecmath.V(0, -1, 4),
+	}
+	if err := p.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	b := p.Bounds()
+	for _, c := range []vecmath.Vec3{p.Point(0, 0), p.Point(1, 0), p.Point(0, 1), p.Point(1, 1)} {
+		if !b.Contains(c) {
+			t.Errorf("bounds missing corner %v", c)
+		}
+	}
+}
+
+func TestIsLuminaire(t *testing.T) {
+	p := unitSquare()
+	if p.IsLuminaire() {
+		t.Error("non-emissive patch reported luminaire")
+	}
+	p.Emission = vecmath.V(0, 0, 0.5)
+	if !p.IsLuminaire() {
+		t.Error("emissive patch not reported luminaire")
+	}
+}

@@ -1,0 +1,278 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 1); err == nil {
+		t.Error("empty interval accepted")
+	}
+	if _, err := New(2, 1); err == nil {
+		t.Error("inverted interval accepted")
+	}
+	if _, err := New(0, 1); err != nil {
+		t.Errorf("valid interval rejected: %v", err)
+	}
+}
+
+func TestSingleBinInitially(t *testing.T) {
+	h, _ := New(0, 1)
+	if h.NumBins() != 1 {
+		t.Fatalf("new histogram has %d bins", h.NumBins())
+	}
+}
+
+func TestUniformInputSplitsFarLessThanSkewed(t *testing.T) {
+	// Under a truly uniform distribution the 3-sigma rule fires only through
+	// random-walk fluctuation (the paper's "bin that was not needed"), so a
+	// uniform stream must produce dramatically fewer bins than a steep
+	// density given the same sample budget.
+	uniform, _ := New(0, 1)
+	skewed, _ := New(0, 1)
+	r := rng.New(1)
+	for i := 0; i < 100000; i++ {
+		x := r.Float64()
+		uniform.Add(x)
+		skewed.Add(x * x * x)
+	}
+	if uniform.NumBins() > 40 {
+		t.Fatalf("uniform input produced %d bins; splitting is far too eager", uniform.NumBins())
+	}
+	if skewed.NumBins() < 2*uniform.NumBins() {
+		t.Fatalf("skewed (%d bins) should out-split uniform (%d bins) by 2x or more",
+			skewed.NumBins(), uniform.NumBins())
+	}
+}
+
+func TestSkewedInputSplits(t *testing.T) {
+	// A steep density must trigger splits.
+	h, _ := New(0, 1)
+	r := rng.New(2)
+	for i := 0; i < 50000; i++ {
+		x := r.Float64()
+		h.Add(x * x * x) // density ~ x^{-2/3}: steep near 0
+	}
+	if h.NumBins() < 8 {
+		t.Fatalf("skewed input produced only %d bins", h.NumBins())
+	}
+}
+
+func TestRefinementFindsStepDiscontinuity(t *testing.T) {
+	// Density with a step at 0.5: the very first split must land exactly on
+	// the discontinuity (the initial bin's midpoint), and afterwards the two
+	// flat regions are resolved with far fewer bins than a fixed grid of the
+	// same accuracy would need.
+	h, _ := New(0, 1)
+	r := rng.New(3)
+	for i := 0; i < 200000; i++ {
+		x := r.Float64()
+		if r.Float64() < 0.8 {
+			x = 0.5 * x // 80% of mass in [0, 0.5)
+		} else {
+			x = 0.5 + 0.5*x
+		}
+		h.Add(x)
+	}
+	boundaryAtHalf := false
+	for _, b := range h.Bins() {
+		if b.Lo == 0.5 {
+			boundaryAtHalf = true
+		}
+	}
+	if !boundaryAtHalf {
+		t.Fatal("no bin boundary at the density step x=0.5")
+	}
+	// Densities on each side should approximate 1.6 and 0.4.
+	if d := h.DensityAt(0.25); math.Abs(d-1.6) > 0.3 {
+		t.Errorf("density(0.25) = %v, want about 1.6", d)
+	}
+	if d := h.DensityAt(0.75); math.Abs(d-0.4) > 0.3 {
+		t.Errorf("density(0.75) = %v, want about 0.4", d)
+	}
+}
+
+func TestBinsPartitionInterval(t *testing.T) {
+	h, _ := New(0, 1)
+	r := rng.New(4)
+	for i := 0; i < 100000; i++ {
+		x := r.Float64()
+		h.Add(x * x)
+	}
+	bins := h.Bins()
+	if bins[0].Lo != 0 {
+		t.Fatalf("first bin starts at %v", bins[0].Lo)
+	}
+	if bins[len(bins)-1].Hi != 1 {
+		t.Fatalf("last bin ends at %v", bins[len(bins)-1].Hi)
+	}
+	for i := 1; i < len(bins); i++ {
+		if bins[i].Lo != bins[i-1].Hi {
+			t.Fatalf("gap between bin %d (hi=%v) and %d (lo=%v)", i-1, bins[i-1].Hi, i, bins[i].Lo)
+		}
+	}
+}
+
+func TestCountConservation(t *testing.T) {
+	// The sum of leaf counts always equals the total number of samples:
+	// splits redistribute but never lose tallies.
+	h, _ := New(0, 1)
+	r := rng.New(5)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		h.Add(math.Sqrt(r.Float64()))
+	}
+	var sum int64
+	for _, b := range h.Bins() {
+		sum += b.Count
+	}
+	if sum != n || h.Total() != n {
+		t.Fatalf("count sum = %d, total = %d, want %d", sum, h.Total(), n)
+	}
+}
+
+func TestCountConservationProperty(t *testing.T) {
+	f := func(seed int64, k uint16) bool {
+		n := int(k)%2000 + 100
+		h, _ := New(0, 1)
+		r := rng.New(seed)
+		for i := 0; i < n; i++ {
+			h.Add(r.Float64() * r.Float64())
+		}
+		var sum int64
+		for _, b := range h.Bins() {
+			sum += b.Count
+		}
+		return sum == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDensityApproximatesTrueDensity(t *testing.T) {
+	// Sample from density f(x) = 2x on [0,1] (x = sqrt(u)); after enough
+	// samples the histogram density at 0.75 should be near 1.5 and at 0.25
+	// near 0.5.
+	h, _ := New(0, 1)
+	r := rng.New(6)
+	for i := 0; i < 400000; i++ {
+		h.Add(math.Sqrt(r.Float64()))
+	}
+	if d := h.DensityAt(0.75); math.Abs(d-1.5) > 0.25 {
+		t.Errorf("density(0.75) = %v, want about 1.5", d)
+	}
+	if d := h.DensityAt(0.25); math.Abs(d-0.5) > 0.25 {
+		t.Errorf("density(0.25) = %v, want about 0.5", d)
+	}
+}
+
+func TestLowerSigmaSplitsMore(t *testing.T) {
+	// The storage-vs-error trade: sigma < 3 must produce at least as many
+	// bins as sigma = 3, and sigma large must produce fewer.
+	counts := map[float64]int{}
+	for _, sigma := range []float64{1.5, 3, 6} {
+		h, _ := New(0, 1, WithSplitSigma(sigma))
+		r := rng.New(7)
+		for i := 0; i < 100000; i++ {
+			h.Add(r.Float64() * r.Float64())
+		}
+		counts[sigma] = h.NumBins()
+	}
+	if !(counts[1.5] >= counts[3] && counts[3] >= counts[6]) {
+		t.Fatalf("bin counts not monotone in sigma: %v", counts)
+	}
+}
+
+func TestMaxBinsRespected(t *testing.T) {
+	h, _ := New(0, 1, WithMaxBins(4))
+	r := rng.New(8)
+	for i := 0; i < 100000; i++ {
+		h.Add(r.Float64() * r.Float64() * r.Float64())
+	}
+	if h.NumBins() > 4 {
+		t.Fatalf("NumBins = %d exceeds cap 4", h.NumBins())
+	}
+}
+
+func TestMinCountDelaysSplitting(t *testing.T) {
+	// With an enormous min count, no split can happen for small sample sizes.
+	h, _ := New(0, 1, WithMinCount(1<<40))
+	r := rng.New(9)
+	for i := 0; i < 10000; i++ {
+		h.Add(r.Float64() * r.Float64())
+	}
+	if h.NumBins() != 1 {
+		t.Fatalf("split happened despite min count: %d bins", h.NumBins())
+	}
+}
+
+func TestOutOfRangeClampsToEdgeBins(t *testing.T) {
+	h, _ := New(0, 1)
+	h.Add(-5)
+	h.Add(7)
+	if h.Total() != 2 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	var sum int64
+	for _, b := range h.Bins() {
+		sum += b.Count
+	}
+	if sum != 2 {
+		t.Fatalf("clamped samples lost: sum = %d", sum)
+	}
+}
+
+func TestDensityIntegratesToOne(t *testing.T) {
+	h, _ := New(0, 1)
+	r := rng.New(10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		h.Add(math.Pow(r.Float64(), 1.5))
+	}
+	var integral float64
+	for _, b := range h.Bins() {
+		integral += b.Density(h.Total()) * b.Width()
+	}
+	if math.Abs(integral-1) > 1e-9 {
+		t.Fatalf("density integral = %v, want 1", integral)
+	}
+}
+
+func TestMinWidthShrinksWithSamples(t *testing.T) {
+	h, _ := New(0, 1)
+	r := rng.New(11)
+	for i := 0; i < 5000; i++ {
+		h.Add(r.Float64() * r.Float64())
+	}
+	early := h.MinWidth()
+	for i := 0; i < 200000; i++ {
+		h.Add(r.Float64() * r.Float64())
+	}
+	late := h.MinWidth()
+	if late > early {
+		t.Fatalf("refinement went backwards: early %v, late %v", early, late)
+	}
+}
+
+func TestSplitSigmaBoundary(t *testing.T) {
+	// Directly exercise shouldSplit: perfectly balanced halves never split;
+	// a wild imbalance does.
+	b := &Bin{Lo: 0, Hi: 1, Count: 1000, Left: 500, Right: 500}
+	if b.shouldSplit(3, 32) {
+		t.Error("balanced bin split")
+	}
+	b = &Bin{Lo: 0, Hi: 1, Count: 1000, Left: 900, Right: 100}
+	if !b.shouldSplit(3, 32) {
+		t.Error("imbalanced bin did not split")
+	}
+	// Below min count, even a wild imbalance must not split.
+	b = &Bin{Lo: 0, Hi: 1, Count: 10, Left: 10, Right: 0}
+	if b.shouldSplit(3, 32) {
+		t.Error("bin split below min count")
+	}
+}

@@ -1,0 +1,219 @@
+package loadbalance
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := Naive([]int64{1}, 0); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	if _, err := BestFit(nil, 2); err == nil {
+		t.Error("empty weights accepted")
+	}
+	if _, err := BestFit([]int64{1, -2}, 2); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestNaiveContiguous(t *testing.T) {
+	w := []int64{1, 1, 1, 1, 1, 1}
+	a, err := Naive(w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 1, 1, 2, 2}
+	for i, o := range a.Owner {
+		if o != want[i] {
+			t.Fatalf("owner = %v, want %v", a.Owner, want)
+		}
+	}
+}
+
+func TestNaiveRemainderSpread(t *testing.T) {
+	a, err := Naive(make([]int64, 7), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, o := range a.Owner {
+		counts[o]++
+	}
+	if counts[0] != 3 || counts[1] != 2 || counts[2] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestBestFitBalancesSkewedLoad(t *testing.T) {
+	// One heavy item + many light ones — the spotlight-on-the-floor case.
+	w := []int64{1000, 10, 10, 10, 10, 10, 10, 10}
+	a, err := BestFit(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The heavy item gets a rank alone (or nearly); the others share.
+	heavyRank := a.Owner[0]
+	if a.Load[heavyRank] != 1000 {
+		t.Fatalf("heavy rank load = %d; heavy item should dominate its rank alone", a.Load[heavyRank])
+	}
+}
+
+func TestLoadsSumToTotal(t *testing.T) {
+	f := func(seed int64, n uint8, ranks uint8) bool {
+		k := int(n)%200 + 1
+		r := int(ranks)%16 + 1
+		src := rng.New(seed)
+		w := make([]int64, k)
+		var total int64
+		for i := range w {
+			w[i] = int64(src.Intn(1000))
+			total += w[i]
+		}
+		for _, algo := range []func([]int64, int) (*Assignment, error){Naive, BestFit} {
+			a, err := algo(w, r)
+			if err != nil {
+				return false
+			}
+			var sum int64
+			for _, l := range a.Load {
+				sum += l
+			}
+			if sum != total {
+				return false
+			}
+			// Owner-derived loads must agree.
+			derived := make([]int64, r)
+			for i, o := range a.Owner {
+				if o < 0 || o >= r {
+					return false
+				}
+				derived[o] += w[i]
+			}
+			for i := range derived {
+				if derived[i] != a.Load[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestFitBeatsNaiveOnSkew(t *testing.T) {
+	// Table 5.2's qualitative result: bin packing's max/min ratio is far
+	// closer to 1 than naive's on realistically skewed photon counts.
+	r := rng.New(42)
+	w := make([]int64, 200)
+	for i := range w {
+		w[i] = int64(r.Intn(50) + 5)
+	}
+	// Clump the load: the "floor under the spotlight" polygons are
+	// contiguous in index and an order of magnitude heavier.
+	for i := 0; i < 40; i++ {
+		w[i] += int64(400 + r.Intn(200))
+	}
+	naive, _ := Naive(w, 8)
+	packed, _ := BestFit(w, 8)
+	if packed.MaxMinRatio() >= naive.MaxMinRatio() {
+		t.Fatalf("BestFit ratio %v not better than naive %v",
+			packed.MaxMinRatio(), naive.MaxMinRatio())
+	}
+	if packed.MaxMinRatio() > 1.25 {
+		t.Fatalf("BestFit max/min = %v; paper achieves ~1.04", packed.MaxMinRatio())
+	}
+}
+
+func TestBestFitDeterministic(t *testing.T) {
+	w := []int64{5, 3, 3, 8, 1, 9, 2, 2}
+	a, _ := BestFit(w, 3)
+	b, _ := BestFit(w, 3)
+	for i := range a.Owner {
+		if a.Owner[i] != b.Owner[i] {
+			t.Fatal("BestFit not deterministic")
+		}
+	}
+}
+
+func TestBestFitNeverWorseThanTwiceOptimal(t *testing.T) {
+	// Greedy longest-processing-time packing is within 4/3 of optimal for
+	// makespan; verify the weaker 2x bound holds on random instances.
+	r := rng.New(7)
+	for trial := 0; trial < 50; trial++ {
+		n := r.Intn(60) + 10
+		ranks := r.Intn(7) + 2
+		w := make([]int64, n)
+		var total, max int64
+		for i := range w {
+			w[i] = int64(r.Intn(500) + 1)
+			total += w[i]
+			if w[i] > max {
+				max = w[i]
+			}
+		}
+		a, _ := BestFit(w, ranks)
+		// Lower bound on optimal makespan.
+		lb := total / int64(ranks)
+		if max > lb {
+			lb = max
+		}
+		var got int64
+		for _, l := range a.Load {
+			if l > got {
+				got = l
+			}
+		}
+		if got > 2*lb {
+			t.Fatalf("trial %d: makespan %d > 2x lower bound %d", trial, got, lb)
+		}
+	}
+}
+
+func TestImbalanceMetrics(t *testing.T) {
+	a := &Assignment{Load: []int64{10, 10, 10, 10}}
+	if a.Imbalance() != 1 || a.MaxMinRatio() != 1 {
+		t.Fatalf("perfect balance metrics: %v, %v", a.Imbalance(), a.MaxMinRatio())
+	}
+	b := &Assignment{Load: []int64{30, 10}}
+	if b.Imbalance() != 1.5 {
+		t.Fatalf("imbalance = %v, want 1.5", b.Imbalance())
+	}
+	if b.MaxMinRatio() != 3 {
+		t.Fatalf("max/min = %v, want 3", b.MaxMinRatio())
+	}
+}
+
+func TestSingleRankGetsEverything(t *testing.T) {
+	w := []int64{4, 5, 6}
+	for _, algo := range []func([]int64, int) (*Assignment, error){Naive, BestFit} {
+		a, err := algo(w, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Load[0] != 15 {
+			t.Fatalf("load = %v", a.Load)
+		}
+	}
+}
+
+func TestMoreRanksThanItems(t *testing.T) {
+	w := []int64{7, 3}
+	a, err := BestFit(w, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nonzero int
+	for _, l := range a.Load {
+		if l > 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 2 {
+		t.Fatalf("items spread over %d ranks, want 2", nonzero)
+	}
+}

@@ -1,0 +1,315 @@
+// Package mpi is the message-passing substrate standing in for MPI in this
+// reproduction. The distributed Photon engine is written against Comm
+// exactly as the paper's C code is written against MPI: ranks, point-to-
+// point Send/Recv with tags and any-source receives, Barrier, AllToAll and
+// AllReduce collectives.
+//
+// Ranks are goroutines within one process; message delivery is via mailbox
+// queues. The World records per-rank traffic (message and byte counts) so
+// the 1997 platform performance models can replay a run's real
+// communication pattern in virtual time.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AnySource matches any sending rank in Recv.
+const AnySource = -1
+
+// AnyTag matches any message tag in Recv.
+const AnyTag = -1
+
+// Sized lets a payload report its approximate wire size for the traffic
+// statistics; payloads that do not implement it count as 64 bytes.
+type Sized interface {
+	ByteSize() int
+}
+
+type envelope struct {
+	from, tag int
+	payload   any
+	bytes     int
+}
+
+// mailbox is one rank's incoming queue with tag/source matching.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []envelope
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(e envelope) {
+	m.mu.Lock()
+	m.queue = append(m.queue, e)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+func (m *mailbox) get(from, tag int) (envelope, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, e := range m.queue {
+			if (from == AnySource || e.from == from) && (tag == AnyTag || e.tag == tag) {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return e, true
+			}
+		}
+		if m.closed {
+			return envelope{}, false
+		}
+		m.cond.Wait()
+	}
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// Traffic is a snapshot of communication statistics.
+type Traffic struct {
+	Messages int64
+	Bytes    int64
+	// PerPair[i][j] counts messages from rank i to rank j.
+	PerPair [][]int64
+}
+
+// World is a communicator group of size ranks.
+type World struct {
+	size      int
+	mailboxes []*mailbox
+
+	barrierMu   sync.Mutex
+	barrierCond *sync.Cond
+	barrierCnt  int
+	barrierGen  int
+
+	statsMu  sync.Mutex
+	messages int64
+	bytes    int64
+	perPair  [][]int64
+}
+
+// NewWorld creates a communicator world with the given number of ranks.
+func NewWorld(size int) (*World, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mpi: world size must be positive, got %d", size)
+	}
+	w := &World{size: size, mailboxes: make([]*mailbox, size)}
+	for i := range w.mailboxes {
+		w.mailboxes[i] = newMailbox()
+	}
+	w.barrierCond = sync.NewCond(&w.barrierMu)
+	w.perPair = make([][]int64, size)
+	for i := range w.perPair {
+		w.perPair[i] = make([]int64, size)
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Comm returns the communicator handle for one rank.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, w.size))
+	}
+	return &Comm{world: w, rank: rank}
+}
+
+// TrafficStats returns a snapshot of the accumulated communication counts.
+func (w *World) TrafficStats() Traffic {
+	w.statsMu.Lock()
+	defer w.statsMu.Unlock()
+	pp := make([][]int64, w.size)
+	for i := range pp {
+		pp[i] = append([]int64(nil), w.perPair[i]...)
+	}
+	return Traffic{Messages: w.messages, Bytes: w.bytes, PerPair: pp}
+}
+
+// Close shuts every mailbox down, releasing blocked receivers with ok=false.
+func (w *World) Close() {
+	for _, m := range w.mailboxes {
+		m.close()
+	}
+}
+
+func payloadBytes(p any) int {
+	if s, ok := p.(Sized); ok {
+		return s.ByteSize()
+	}
+	return 64
+}
+
+// Comm is one rank's communicator.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this communicator's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Send delivers payload to rank `to` with the given tag. Sends never block
+// (buffered, like MPI_Isend with guaranteed buffering — the paper notes the
+// SP-2 enforces exactly this).
+func (c *Comm) Send(to, tag int, payload any) {
+	if to < 0 || to >= c.world.size {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", to))
+	}
+	b := payloadBytes(payload)
+	c.world.mailboxes[to].put(envelope{from: c.rank, tag: tag, payload: payload, bytes: b})
+	c.world.statsMu.Lock()
+	c.world.messages++
+	c.world.bytes += int64(b)
+	c.world.perPair[c.rank][to]++
+	c.world.statsMu.Unlock()
+}
+
+// Recv blocks until a message matching (from, tag) arrives and returns its
+// payload and source. Use AnySource/AnyTag as wildcards. ok is false only
+// if the world was closed while waiting.
+func (c *Comm) Recv(from, tag int) (payload any, source int, ok bool) {
+	e, ok := c.world.mailboxes[c.rank].get(from, tag)
+	if !ok {
+		return nil, 0, false
+	}
+	return e.payload, e.from, true
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	w := c.world
+	w.barrierMu.Lock()
+	gen := w.barrierGen
+	w.barrierCnt++
+	if w.barrierCnt == w.size {
+		w.barrierCnt = 0
+		w.barrierGen++
+		w.barrierMu.Unlock()
+		w.barrierCond.Broadcast()
+		return
+	}
+	for gen == w.barrierGen {
+		w.barrierCond.Wait()
+	}
+	w.barrierMu.Unlock()
+}
+
+// AllToAll sends out[i] to rank i and returns in[i] = the slice received
+// from rank i (in[self] = out[self] without copying). This is the exchange
+// at the end of each photon batch (Figure 5.3).
+func AllToAll[T any](c *Comm, tag int, out [][]T) ([][]T, error) {
+	if len(out) != c.Size() {
+		return nil, fmt.Errorf("mpi: AllToAll needs %d slices, got %d", c.Size(), len(out))
+	}
+	for to := 0; to < c.Size(); to++ {
+		if to == c.rank {
+			continue
+		}
+		c.Send(to, tag, sizedSlice[T]{data: out[to]})
+	}
+	in := make([][]T, c.Size())
+	in[c.rank] = out[c.rank]
+	for i := 0; i < c.Size()-1; i++ {
+		p, src, ok := c.Recv(AnySource, tag)
+		if !ok {
+			return nil, fmt.Errorf("mpi: world closed during AllToAll")
+		}
+		in[src] = p.(sizedSlice[T]).data
+	}
+	return in, nil
+}
+
+// sizedSlice lets AllToAll report realistic byte counts for traffic stats.
+type sizedSlice[T any] struct{ data []T }
+
+// ByteSize estimates the wire size of the slice payload.
+func (s sizedSlice[T]) ByteSize() int {
+	var t T
+	return len(s.data)*approxSize(t) + 16
+}
+
+func approxSize(v any) int {
+	switch v.(type) {
+	case int8, uint8, bool:
+		return 1
+	case int16, uint16:
+		return 2
+	case int32, uint32, float32:
+		return 4
+	case int64, uint64, float64, int, uint:
+		return 8
+	default:
+		return 48 // struct payloads (e.g. photon tallies)
+	}
+}
+
+// AllReduceSum sums one float64 across all ranks and returns the total to
+// every rank (gather to rank 0, then broadcast).
+func AllReduceSum(c *Comm, tag int, v float64) (float64, error) {
+	if c.rank == 0 {
+		sum := v
+		for i := 1; i < c.Size(); i++ {
+			p, _, ok := c.Recv(AnySource, tag)
+			if !ok {
+				return 0, fmt.Errorf("mpi: world closed during AllReduce")
+			}
+			sum += p.(float64)
+		}
+		for i := 1; i < c.Size(); i++ {
+			c.Send(i, tag+1, sum)
+		}
+		return sum, nil
+	}
+	c.Send(0, tag, v)
+	p, _, ok := c.Recv(0, tag+1)
+	if !ok {
+		return 0, fmt.Errorf("mpi: world closed during AllReduce")
+	}
+	return p.(float64), nil
+}
+
+// Run spawns fn on every rank of a fresh world and waits for completion,
+// returning the first error. This is the mpirun of the substrate.
+func Run(size int, fn func(c *Comm) error) (*World, error) {
+	w, err := NewWorld(size)
+	if err != nil {
+		return nil, err
+	}
+	errs := make(chan error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs <- fn(w.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		if e != nil {
+			w.Close()
+			return w, e
+		}
+	}
+	return w, nil
+}

@@ -1,0 +1,211 @@
+package mpi
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCPComm is a communicator whose ranks live in separate processes (or
+// separate machines), connected by a full TCP mesh — the transport a real
+// cluster deployment of the distributed engine swaps in for the in-process
+// channel world. Payloads are gob-encoded; the mailbox semantics (tags,
+// any-source receives, per-pair FIFO) match Comm's.
+//
+// Topology: rank i listens on addrs[i]; every rank dials every higher rank,
+// so each pair shares exactly one connection.
+type TCPComm struct {
+	rank, size int
+	conns      []net.Conn // conns[r] = connection to rank r (nil for self)
+	encs       []*gob.Encoder
+	encMu      []sync.Mutex
+	box        *mailbox
+
+	statsMu  sync.Mutex
+	messages int64
+	bytes    int64
+}
+
+type tcpEnvelope struct {
+	From, Tag int
+	Payload   any
+}
+
+// RegisterTCPPayload registers a payload type for gob transport; call once
+// per concrete type sent through a TCPComm (slices of registered types
+// work automatically).
+func RegisterTCPPayload(v any) { gob.Register(v) }
+
+// NewTCPComm creates rank `rank` of a size-len(addrs) world. It blocks
+// until the full mesh is connected. All ranks must call it concurrently
+// with the same address list.
+func NewTCPComm(rank int, addrs []string) (*TCPComm, error) {
+	size := len(addrs)
+	if rank < 0 || rank >= size {
+		return nil, fmt.Errorf("mpi: rank %d out of range [0,%d)", rank, size)
+	}
+	c := &TCPComm{
+		rank: rank, size: size,
+		conns: make([]net.Conn, size),
+		encs:  make([]*gob.Encoder, size),
+		encMu: make([]sync.Mutex, size),
+		box:   newMailbox(),
+	}
+
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("mpi: rank %d listen: %w", rank, err)
+	}
+	defer ln.Close()
+
+	// Accept connections from all lower ranks; dial all higher ranks.
+	// Handshake: the dialer sends its rank first.
+	var wg sync.WaitGroup
+	errCh := make(chan error, size)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rank; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			var peer int
+			if err := gob.NewDecoder(conn).Decode(&peer); err != nil {
+				errCh <- err
+				return
+			}
+			c.conns[peer] = conn
+		}
+	}()
+	for peer := rank + 1; peer < size; peer++ {
+		conn, err := dialRetry(addrs[peer])
+		if err != nil {
+			return nil, fmt.Errorf("mpi: rank %d dial %d: %w", rank, peer, err)
+		}
+		if err := gob.NewEncoder(conn).Encode(rank); err != nil {
+			return nil, err
+		}
+		c.conns[peer] = conn
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	// Reader goroutine per peer feeds the shared mailbox.
+	for peer, conn := range c.conns {
+		if conn == nil {
+			continue
+		}
+		c.encs[peer] = gob.NewEncoder(conn)
+		go func(conn net.Conn) {
+			dec := gob.NewDecoder(conn)
+			for {
+				var e tcpEnvelope
+				if err := dec.Decode(&e); err != nil {
+					c.box.close()
+					return
+				}
+				c.box.put(envelope{from: e.From, tag: e.Tag, payload: e.Payload, bytes: payloadBytes(e.Payload)})
+			}
+		}(conn)
+	}
+	return c, nil
+}
+
+func dialRetry(addr string) (net.Conn, error) {
+	var lastErr error
+	for i := 0; i < 400; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// Rank returns this communicator's rank.
+func (c *TCPComm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *TCPComm) Size() int { return c.size }
+
+// Send transmits payload to rank `to` with the given tag.
+func (c *TCPComm) Send(to, tag int, payload any) error {
+	if to == c.rank {
+		c.box.put(envelope{from: c.rank, tag: tag, payload: payload, bytes: payloadBytes(payload)})
+		return nil
+	}
+	if to < 0 || to >= c.size {
+		return fmt.Errorf("mpi: send to invalid rank %d", to)
+	}
+	c.encMu[to].Lock()
+	err := c.encs[to].Encode(tcpEnvelope{From: c.rank, Tag: tag, Payload: payload})
+	c.encMu[to].Unlock()
+	if err != nil {
+		return err
+	}
+	c.statsMu.Lock()
+	c.messages++
+	c.bytes += int64(payloadBytes(payload))
+	c.statsMu.Unlock()
+	return nil
+}
+
+// Recv blocks until a message matching (from, tag) arrives.
+func (c *TCPComm) Recv(from, tag int) (payload any, source int, ok bool) {
+	e, ok := c.box.get(from, tag)
+	if !ok {
+		return nil, 0, false
+	}
+	return e.payload, e.from, true
+}
+
+// Barrier blocks until every rank reaches it (linear gather to rank 0 then
+// broadcast; tag -2 is reserved).
+func (c *TCPComm) Barrier() error {
+	const barrierTag = -2
+	if c.rank == 0 {
+		for i := 1; i < c.size; i++ {
+			if _, _, ok := c.Recv(AnySource, barrierTag); !ok {
+				return fmt.Errorf("mpi: barrier interrupted")
+			}
+		}
+		for i := 1; i < c.size; i++ {
+			if err := c.Send(i, barrierTag, true); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.Send(0, barrierTag, true); err != nil {
+		return err
+	}
+	if _, _, ok := c.Recv(0, barrierTag); !ok {
+		return fmt.Errorf("mpi: barrier interrupted")
+	}
+	return nil
+}
+
+// Stats returns (messages, approx bytes) sent by this rank.
+func (c *TCPComm) Stats() (int64, int64) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.messages, c.bytes
+}
+
+// Close shuts the mesh down.
+func (c *TCPComm) Close() {
+	for _, conn := range c.conns {
+		if conn != nil {
+			conn.Close()
+		}
+	}
+	c.box.close()
+}

@@ -1,0 +1,219 @@
+package mpi
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+)
+
+// freeAddrs reserves n loopback ports and returns their addresses.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+// tcpWorld spins up a full mesh of TCPComms on loopback.
+func tcpWorld(t *testing.T, size int) []*TCPComm {
+	t.Helper()
+	addrs := freeAddrs(t, size)
+	comms := make([]*TCPComm, size)
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			comms[rank], errs[rank] = NewTCPComm(rank, addrs)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, c := range comms {
+			if c != nil {
+				c.Close()
+			}
+		}
+	})
+	return comms
+}
+
+func TestTCPPingPong(t *testing.T) {
+	comms := tcpWorld(t, 2)
+	done := make(chan error, 2)
+	go func() {
+		if err := comms[0].Send(1, 7, "ping"); err != nil {
+			done <- err
+			return
+		}
+		p, src, ok := comms[0].Recv(1, 8)
+		if !ok || src != 1 || p.(string) != "pong" {
+			done <- fmt.Errorf("rank 0 got %v from %d", p, src)
+			return
+		}
+		done <- nil
+	}()
+	go func() {
+		p, _, ok := comms[1].Recv(0, 7)
+		if !ok || p.(string) != "ping" {
+			done <- fmt.Errorf("rank 1 got %v", p)
+			return
+		}
+		done <- comms[1].Send(0, 8, "pong")
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTCPStructuredPayload(t *testing.T) {
+	type tally struct {
+		Patch int32
+		S, T  float64
+	}
+	RegisterTCPPayload([]tally{})
+	comms := tcpWorld(t, 2)
+	want := []tally{{Patch: 3, S: 0.25, T: 0.75}, {Patch: 9, S: 0.5, T: 0.5}}
+	go comms[0].Send(1, 1, want)
+	p, _, ok := comms[1].Recv(0, 1)
+	if !ok {
+		t.Fatal("recv failed")
+	}
+	got := p.([]tally)
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestTCPManyToOne(t *testing.T) {
+	const n = 4
+	comms := tcpWorld(t, n)
+	var wg sync.WaitGroup
+	for r := 1; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := comms[rank].Send(0, 5, rank*1000+i); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+	seen := map[int]int{}
+	for i := 0; i < (n-1)*100; i++ {
+		p, src, ok := comms[0].Recv(AnySource, 5)
+		if !ok {
+			t.Fatal("recv failed")
+		}
+		if p.(int)/1000 != src {
+			t.Fatalf("payload %v does not match source %d", p, src)
+		}
+		seen[src]++
+	}
+	wg.Wait()
+	for r := 1; r < n; r++ {
+		if seen[r] != 100 {
+			t.Fatalf("rank %d delivered %d/100", r, seen[r])
+		}
+	}
+}
+
+func TestTCPFIFOPerPair(t *testing.T) {
+	comms := tcpWorld(t, 2)
+	const k = 500
+	go func() {
+		for i := 0; i < k; i++ {
+			comms[0].Send(1, 0, i)
+		}
+	}()
+	for i := 0; i < k; i++ {
+		p, _, ok := comms[1].Recv(0, 0)
+		if !ok || p.(int) != i {
+			t.Fatalf("out of order at %d: %v", i, p)
+		}
+	}
+}
+
+func TestTCPBarrier(t *testing.T) {
+	const n = 4
+	comms := tcpWorld(t, n)
+	var phase int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for round := 0; round < 10; round++ {
+				if err := comms[rank].Barrier(); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				phase++
+				mu.Unlock()
+				if err := comms[rank].Barrier(); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				p := phase
+				mu.Unlock()
+				if int(p) != (round+1)*n {
+					t.Errorf("rank %d round %d: phase %d", rank, round, p)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestTCPSelfSend(t *testing.T) {
+	comms := tcpWorld(t, 2)
+	if err := comms[0].Send(0, 9, "loop"); err != nil {
+		t.Fatal(err)
+	}
+	p, src, ok := comms[0].Recv(0, 9)
+	if !ok || src != 0 || p.(string) != "loop" {
+		t.Fatalf("self-send got %v from %d", p, src)
+	}
+}
+
+func TestTCPStats(t *testing.T) {
+	comms := tcpWorld(t, 2)
+	comms[0].Send(1, 1, "x")
+	comms[1].Recv(0, 1)
+	msgs, bytes := comms[0].Stats()
+	if msgs != 1 || bytes <= 0 {
+		t.Fatalf("stats = %d msgs, %d bytes", msgs, bytes)
+	}
+}
+
+func TestTCPInvalidRank(t *testing.T) {
+	if _, err := NewTCPComm(5, []string{"127.0.0.1:0"}); err == nil {
+		t.Fatal("invalid rank accepted")
+	}
+	comms := tcpWorld(t, 2)
+	if err := comms[0].Send(7, 0, "x"); err == nil {
+		t.Fatal("send to invalid rank accepted")
+	}
+}

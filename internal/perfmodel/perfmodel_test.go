@@ -1,0 +1,320 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+const traceDur = 300 // virtual seconds, long enough to reach steady state
+
+func TestSerialRatesPlausible(t *testing.T) {
+	// SP-2 node > Onyx processor > Indy workstation, for every scene.
+	for _, s := range SceneModels() {
+		sp2 := SerialRate(SP2(), s)
+		onyx := SerialRate(Onyx(), s)
+		indy := SerialRate(Indy(), s)
+		if !(sp2 > onyx && onyx > indy) {
+			t.Errorf("%s: serial rates not ordered: sp2=%v onyx=%v indy=%v", s.Name, sp2, onyx, indy)
+		}
+	}
+	// The lab costs the most per photon, so it is the slowest in absolute
+	// photons/sec everywhere (the paper's "absolute performance is
+	// reduced").
+	if SerialRate(Onyx(), ComputerLabModel()) >= SerialRate(Onyx(), CornellModel()) {
+		t.Error("computer lab should be slower per photon than the Cornell box")
+	}
+}
+
+func TestSharedMemoryScalabilityGrowsWithSceneSize(t *testing.T) {
+	// Figures 5.6-5.8: "as the geometry size increases, so also does the
+	// scalability".
+	p := Onyx()
+	cb := Speedup(p, CornellModel(), 8, traceDur)
+	hr := Speedup(p, HarpsichordModel(), 8, traceDur)
+	cl := Speedup(p, ComputerLabModel(), 8, traceDur)
+	if !(cb < hr && hr < cl) {
+		t.Fatalf("8-proc Onyx speedups not ordered by scene size: cb=%.2f hr=%.2f cl=%.2f", cb, hr, cl)
+	}
+	if cb > 5.5 {
+		t.Errorf("Cornell Box 8-proc shared speedup %.2f too good; paper shows small scenes plateau", cb)
+	}
+	if cl < 6 {
+		t.Errorf("Computer Lab 8-proc shared speedup %.2f too poor; paper shows near-linear", cl)
+	}
+}
+
+func TestSmallSceneMoreThanTwoProcsIsAWaste(t *testing.T) {
+	// "For small geometries, using more than two processors is a waste."
+	p := Onyx()
+	s := CornellModel()
+	two := Speedup(p, s, 2, traceDur)
+	eight := Speedup(p, s, 8, traceDur)
+	// Going 2 -> 8 processors (4x resources) must yield well under 2.5x.
+	if eight/two > 2.5 {
+		t.Fatalf("2->8 procs on Cornell gained %.2fx; should plateau", eight/two)
+	}
+}
+
+func TestIndySuperlinearTwoProcHarpsichord(t *testing.T) {
+	// Figure 7 (appendix): "superlinear speedup for two processors is due
+	// to cache effects."
+	sp := Speedup(Indy(), HarpsichordModel(), 2, traceDur)
+	if sp <= 2.0 {
+		t.Fatalf("Indy 2-proc harpsichord speedup %.3f, want superlinear (>2)", sp)
+	}
+	if sp > 2.6 {
+		t.Fatalf("Indy 2-proc speedup %.3f implausibly superlinear", sp)
+	}
+}
+
+func TestIndyScalesOnAllScenes(t *testing.T) {
+	for _, s := range SceneModels() {
+		sp := Speedup(Indy(), s, 8, traceDur)
+		if sp < 3 || sp > 8 {
+			t.Errorf("Indy 8-proc speedup on %s = %.2f, want within (3,8)", s.Name, sp)
+		}
+	}
+}
+
+func TestSP2ShiftDownBeyondTwoProcs(t *testing.T) {
+	// "The absolute performance of configurations of more than two
+	// processors is shifted down. However, performance after the shift
+	// appears to scale well."
+	p := SP2()
+	s := CornellModel()
+	two := SpeedTrace(p, s, 2, traceDur).FinalSpeed()
+	four := SpeedTrace(p, s, 4, traceDur).FinalSpeed()
+	eight := SpeedTrace(p, s, 8, traceDur).FinalSpeed()
+	// The dip: doubling 2->4 gains far less than 2x.
+	if four/two > 1.6 {
+		t.Fatalf("2->4 procs gained %.2fx; the buffering shift is missing", four/two)
+	}
+	// After the shift, 4->8 scales well again.
+	if eight/four < 1.6 {
+		t.Fatalf("4->8 procs gained only %.2fx; should scale well after the shift", eight/four)
+	}
+}
+
+func TestSP2MonotoneAbsoluteSpeed(t *testing.T) {
+	p := SP2()
+	for _, s := range SceneModels() {
+		prev := 0.0
+		for _, procs := range p.ProcCounts {
+			v := SpeedTrace(p, s, procs, traceDur).FinalSpeed()
+			if procs == 1 {
+				v = SerialRate(p, s)
+			}
+			if v <= prev {
+				t.Errorf("%s: speed not monotone at %d procs (%v <= %v)", s.Name, procs, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestSP2SixtyFourProcSpeedupRange(t *testing.T) {
+	for _, s := range SceneModels() {
+		sp := Speedup(SP2(), s, 64, traceDur)
+		if sp < 8 || sp > 55 {
+			t.Errorf("SP-2 64-proc speedup on %s = %.1f, outside the plausible band", s.Name, sp)
+		}
+	}
+}
+
+func TestSetupTimeOrdering(t *testing.T) {
+	// "Note how the time to the first data point increases as coupling
+	// decreases" (Figure 5.15).
+	s := HarpsichordModel()
+	onyx := SetupTime(Onyx(), s, 8)
+	sp2 := SetupTime(SP2(), s, 8)
+	indy := SetupTime(Indy(), s, 8)
+	if !(onyx < sp2 && sp2 < indy) {
+		t.Fatalf("setup times not ordered by coupling: onyx=%v sp2=%v indy=%v", onyx, sp2, indy)
+	}
+}
+
+func TestBatchScheduleStartsAt500AndGrows(t *testing.T) {
+	// Table 5.3: all three platforms start at 500 then 750.
+	for _, p := range Platforms() {
+		seq := BatchSchedule(p, HarpsichordModel(), 8, 13)
+		if len(seq) != 13 {
+			t.Fatalf("%s: schedule has %d entries", p.Name, len(seq))
+		}
+		if seq[0] != 500 || seq[1] != 750 {
+			t.Errorf("%s: schedule starts %d, %d; want 500, 750", p.Name, seq[0], seq[1])
+		}
+	}
+}
+
+func TestBatchEquilibriumOrdering(t *testing.T) {
+	// Table 5.3's shape: the Onyx grows into the many-thousands; the SP-2
+	// and Indy settle near 1000-2000.
+	hr := HarpsichordModel()
+	final := func(p Platform) int64 {
+		seq := BatchSchedule(p, hr, 8, 13)
+		return seq[len(seq)-1]
+	}
+	onyx, sp2, indy := final(Onyx()), final(SP2()), final(Indy())
+	if onyx < 5000 {
+		t.Errorf("Onyx final batch %d; paper reaches 11337", onyx)
+	}
+	if sp2 < 700 || sp2 > 3500 {
+		t.Errorf("SP-2 final batch %d; paper settles ~1657", sp2)
+	}
+	if indy < 700 || indy > 3500 {
+		t.Errorf("Indy final batch %d; paper settles ~1518", indy)
+	}
+	if !(onyx > 3*sp2 && onyx > 3*indy) {
+		t.Errorf("Onyx batch %d should dwarf SP-2 %d and Indy %d", onyx, sp2, indy)
+	}
+}
+
+func TestBatchScheduleOscillates(t *testing.T) {
+	// Distributed platforms must show at least one shrink (the grow/shrink
+	// hunt of Table 5.3), and never go below the floor.
+	for _, p := range []Platform{SP2(), Indy()} {
+		seq := BatchSchedule(p, HarpsichordModel(), 8, 13)
+		shrinks := 0
+		for i := 1; i < len(seq); i++ {
+			if seq[i] < seq[i-1] {
+				shrinks++
+			}
+			if seq[i] < 100 {
+				t.Errorf("%s: batch fell to %d", p.Name, seq[i])
+			}
+		}
+		if shrinks == 0 {
+			t.Errorf("%s: no shrinks in %v; controller should hunt around the optimum", p.Name, seq)
+		}
+	}
+}
+
+func TestThroughputInteriorOptimumOnSP2(t *testing.T) {
+	// The congestion term gives batch size an interior optimum on message-
+	// passing platforms.
+	p, s := SP2(), HarpsichordModel()
+	mid := Throughput(p, s, 8, 1600)
+	tiny := Throughput(p, s, 8, 100)
+	huge := Throughput(p, s, 8, 200000)
+	if !(mid > tiny && mid > huge) {
+		t.Fatalf("no interior optimum: tiny=%v mid=%v huge=%v", tiny, mid, huge)
+	}
+}
+
+func TestThroughputMonotoneOnOnyx(t *testing.T) {
+	// Shared memory has no message congestion: bigger batches only
+	// amortize the sync cost.
+	p, s := Onyx(), HarpsichordModel()
+	prev := 0.0
+	for _, n := range []int64{100, 500, 2000, 10000, 50000} {
+		v := Throughput(p, s, 8, n)
+		if v < prev {
+			t.Fatalf("Onyx throughput decreased at batch %d", n)
+		}
+		prev = v
+	}
+}
+
+func TestTracesRiseToPlateau(t *testing.T) {
+	// Every published curve rises (latency-dominated small batches) and
+	// then flattens.
+	tr := SpeedTrace(SP2(), CornellModel(), 8, traceDur)
+	if len(tr.Points) < 10 {
+		t.Fatalf("trace too short: %d points", len(tr.Points))
+	}
+	first := tr.Points[0].Speed
+	max := 0.0
+	for _, pt := range tr.Points {
+		if pt.Speed > max {
+			max = pt.Speed
+		}
+	}
+	if max < 1.02*first {
+		t.Fatalf("trace does not rise: first %v, max %v", first, max)
+	}
+	if plateau := tr.FinalSpeed(); plateau < 0.85*max {
+		t.Fatalf("trace does not hold its plateau: max %v, final %v", max, plateau)
+	}
+	// Times strictly increase.
+	for i := 1; i < len(tr.Points); i++ {
+		if tr.Points[i].Time <= tr.Points[i-1].Time {
+			t.Fatal("trace times not increasing")
+		}
+	}
+}
+
+func TestTraceStartsAfterSetup(t *testing.T) {
+	p, s := Indy(), CornellModel()
+	tr := SpeedTrace(p, s, 8, traceDur)
+	if tr.Points[0].Time <= SetupTime(p, s, 8) {
+		t.Fatal("first trace point precedes setup completion")
+	}
+}
+
+func TestPhotonsInBudgetMonotoneInProcs(t *testing.T) {
+	// Figure 5.16: more processors in a fixed 2-minute budget = more
+	// photons.
+	p, s := Onyx(), HarpsichordModel()
+	prev := int64(0)
+	for _, procs := range []int{1, 2, 4, 8} {
+		got := PhotonsInBudget(p, s, procs, 120)
+		if got <= prev {
+			t.Fatalf("photons in budget not monotone at %d procs: %d <= %d", procs, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestPhotonsInBudgetZeroWhenSetupDominates(t *testing.T) {
+	if got := PhotonsInBudget(Indy(), CornellModel(), 8, 0.5); got != 0 {
+		t.Fatalf("got %d photons inside the setup window", got)
+	}
+}
+
+func TestSpeedupOneProcIsUnity(t *testing.T) {
+	if sp := Speedup(SP2(), CornellModel(), 1, traceDur); sp != 1 {
+		t.Fatalf("1-proc speedup = %v", sp)
+	}
+}
+
+func TestSceneModelByName(t *testing.T) {
+	for _, want := range SceneModels() {
+		got, err := SceneModelByName(want.Name)
+		if err != nil || got.Name != want.Name {
+			t.Errorf("SceneModelByName(%q) = %v, %v", want.Name, got.Name, err)
+		}
+	}
+	if _, err := SceneModelByName("nope"); err == nil {
+		t.Error("unknown scene resolved")
+	}
+}
+
+func TestBatchTimePositiveEverywhere(t *testing.T) {
+	for _, p := range Platforms() {
+		for _, s := range SceneModels() {
+			for _, procs := range p.ProcCounts {
+				for _, n := range []int64{100, 500, 5000, 50000} {
+					bt := BatchTime(p, s, procs, n)
+					if bt <= 0 || math.IsNaN(bt) || math.IsInf(bt, 0) {
+						t.Fatalf("%s/%s procs=%d n=%d: BatchTime=%v", p.Name, s.Name, procs, n, bt)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLabMoreEfficientThanCornellOnSP2(t *testing.T) {
+	// "The speedup for this geometry is more uniform because there is a
+	// more even distribution of light through the room": at every plotted
+	// processor count the lab's parallel efficiency must be at least the
+	// box's.
+	p := SP2()
+	for _, procs := range []int{8, 16, 32, 64} {
+		lab := Speedup(p, ComputerLabModel(), procs, traceDur) / float64(procs)
+		box := Speedup(p, CornellModel(), procs, traceDur) / float64(procs)
+		if lab < box {
+			t.Errorf("procs=%d: lab efficiency %.3f below box %.3f", procs, lab, box)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package rng implements the pseudo-random number generator used by the
+// Photon simulator: a 48-bit linear congruential generator with the classic
+// drand48 constants, giving the period-2^48 sequence the paper describes.
+//
+// The distinguishing feature is O(log n) jump-ahead, which enables the
+// paper's leapfrog parallelization: the single global sequence is divided
+// into P disjoint contiguous subsequences, one per processor, so no two
+// processors ever duplicate work ("individual periods of 2^48/P").
+package rng
+
+import "math"
+
+const (
+	// Multiplier and increment of the drand48 LCG: x' = (a*x + c) mod 2^48.
+	mulA = 0x5DEECE66D
+	addC = 0xB
+
+	mask48 = 1<<48 - 1
+
+	// Period is the full cycle length of the generator.
+	Period = 1 << 48
+)
+
+// Source is a deterministic stream of uniform variates. It is NOT safe for
+// concurrent use; the parallel engines give each worker its own leapfrogged
+// Source, which is precisely the paper's design.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded like seed48: the 48-bit state is the low 32
+// bits of seed shifted up 16, XORed with the multiplier, which matches the
+// conventional drand48 seeding and guarantees distinct seeds yield distinct
+// streams.
+func New(seed int64) *Source {
+	return &Source{state: (uint64(seed)<<16 | 0x330E) & mask48}
+}
+
+// NewFromState returns a Source whose raw 48-bit state is exactly state.
+// Used by leapfrog splitting and by tests that need precise positioning.
+func NewFromState(state uint64) *Source {
+	return &Source{state: state & mask48}
+}
+
+// State returns the raw 48-bit state. Two Sources with equal state produce
+// identical futures.
+func (s *Source) State() uint64 { return s.state }
+
+// next advances the LCG one step and returns the new 48-bit state.
+func (s *Source) next() uint64 {
+	s.state = (s.state*mulA + addC) & mask48
+	return s.state
+}
+
+// Uint64 returns 48 fresh random bits in the low bits of a uint64.
+func (s *Source) Uint64() uint64 { return s.next() }
+
+// Float64 returns a uniform variate in [0, 1) with 48 bits of precision.
+func (s *Source) Float64() float64 {
+	return float64(s.next()) / float64(Period)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// 48 uniform bits scaled down; bias is < n/2^48, negligible for the
+	// scene-sized n used here.
+	return int(s.next() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal variate via Box-Muller (polar form,
+// one value per call; the mate is discarded to keep the stream position
+// deterministic at exactly two uniforms consumed per accepted pair).
+func (s *Source) NormFloat64() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q == 0 || q >= 1 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(q)/q)
+	}
+}
+
+// affine represents the map x -> (mul*x + add) mod 2^48. Composing affines
+// lets us jump ahead n steps in O(log n) multiplications.
+type affine struct {
+	mul, add uint64
+}
+
+// compose returns the map "g after f": x -> g(f(x)).
+func compose(g, f affine) affine {
+	return affine{
+		mul: (g.mul * f.mul) & mask48,
+		add: (g.mul*f.add + g.add) & mask48,
+	}
+}
+
+// affinePower returns the n-fold self-composition of the single-step map.
+func affinePower(n uint64) affine {
+	result := affine{mul: 1, add: 0} // identity
+	step := affine{mul: mulA, add: addC}
+	for n > 0 {
+		if n&1 == 1 {
+			result = compose(step, result)
+		}
+		step = compose(step, step)
+		n >>= 1
+	}
+	return result
+}
+
+// JumpAhead advances the stream by n steps in O(log n) time, equivalent to
+// calling Uint64 n times and discarding the results.
+func (s *Source) JumpAhead(n uint64) {
+	m := affinePower(n)
+	s.state = (m.mul*s.state + m.add) & mask48
+}
+
+// Clone returns an independent copy positioned at the same stream point.
+func (s *Source) Clone() *Source { return &Source{state: s.state} }
+
+// Leapfrog partitions the sequence that starts at base's current position
+// into p contiguous disjoint subsequences of length Period/p and returns one
+// Source positioned at the start of each. This is the paper's scheme: each
+// processor "calculates the beginning point in the appropriate subsequence",
+// giving per-processor periods of 2^48/P with no overlap. base itself is not
+// advanced.
+func Leapfrog(base *Source, p int) []*Source {
+	if p <= 0 {
+		panic("rng: Leapfrog with non-positive p")
+	}
+	stride := uint64(Period / uint64(p))
+	out := make([]*Source, p)
+	for i := range out {
+		s := base.Clone()
+		s.JumpAhead(uint64(i) * stride)
+		out[i] = s
+	}
+	return out
+}

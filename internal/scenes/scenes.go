@@ -1,0 +1,358 @@
+// Package scenes builds the paper's three test geometries (Table 5.1) plus
+// a minimal quickstart room:
+//
+//	Cornell Box             ≈30 defining polygons, floating central mirror
+//	Harpsichord Room        ≈100 polygons, skylights (sun + sky), mirrored shelf
+//	Computer Laboratory     ≈2000 polygons, rows of desks and workstations
+//
+// Geometry is procedural and deterministic. Exact 1997 scene files are not
+// available; the builders match the published defining-polygon counts,
+// material character (where the mirrors are, which lights are collimated)
+// and general layout, which are the properties the parallel experiments
+// depend on.
+package scenes
+
+import (
+	"repro/internal/brdf"
+	"repro/internal/geom"
+	"repro/internal/sampler"
+	"repro/internal/vecmath"
+)
+
+// Scene couples geometry with materials: the complete simulation input.
+type Scene struct {
+	Name      string
+	Geom      *geom.Scene
+	Materials []brdf.Material
+}
+
+// Material returns the material of patch i.
+func (s *Scene) Material(i int) *brdf.Material {
+	return &s.Materials[s.Geom.Patches[i].Material]
+}
+
+// DefiningPolygons returns the defining polygon count (Table 5.1 col 1).
+func (s *Scene) DefiningPolygons() int { return len(s.Geom.Patches) }
+
+// builder accumulates patches with material bookkeeping.
+type builder struct {
+	patches   []geom.Patch
+	materials []brdf.Material
+	matIndex  map[string]int
+}
+
+func newBuilder() *builder {
+	return &builder{matIndex: map[string]int{}}
+}
+
+func (b *builder) material(m brdf.Material) int {
+	if i, ok := b.matIndex[m.Name]; ok {
+		return i
+	}
+	b.materials = append(b.materials, m)
+	i := len(b.materials) - 1
+	b.matIndex[m.Name] = i
+	return i
+}
+
+// quad adds one parallelogram patch.
+func (b *builder) quad(origin, edgeS, edgeT vecmath.Vec3, mat int) {
+	b.patches = append(b.patches, geom.Patch{
+		Origin: origin, EdgeS: edgeS, EdgeT: edgeT, Material: mat,
+	})
+}
+
+// light adds an emissive patch (diffuse unless collimation < 1).
+func (b *builder) light(origin, edgeS, edgeT vecmath.Vec3, emission vecmath.Vec3, collimation float64, mat int) {
+	b.patches = append(b.patches, geom.Patch{
+		Origin: origin, EdgeS: edgeS, EdgeT: edgeT,
+		Material: mat, Emission: emission, Collimation: collimation,
+	})
+}
+
+// room adds the six inward-facing walls of an axis-aligned box
+// [min, max], with separate materials for floor / ceiling / the four walls.
+func (b *builder) room(min, max vecmath.Vec3, floor, ceiling, walls int) {
+	d := max.Sub(min)
+	// floor z=min.Z, normal +z
+	b.quad(min, vecmath.V(d.X, 0, 0), vecmath.V(0, d.Y, 0), floor)
+	// ceiling z=max.Z, normal -z
+	b.quad(vecmath.V(min.X, min.Y, max.Z), vecmath.V(0, d.Y, 0), vecmath.V(d.X, 0, 0), ceiling)
+	// x=min.X wall, normal +x
+	b.quad(min, vecmath.V(0, d.Y, 0), vecmath.V(0, 0, d.Z), walls)
+	// x=max.X wall, normal -x
+	b.quad(vecmath.V(max.X, min.Y, min.Z), vecmath.V(0, 0, d.Z), vecmath.V(0, d.Y, 0), walls)
+	// y=min.Y wall, normal +y
+	b.quad(min, vecmath.V(0, 0, d.Z), vecmath.V(d.X, 0, 0), walls)
+	// y=max.Y wall, normal -y
+	b.quad(vecmath.V(min.X, max.Y, min.Z), vecmath.V(d.X, 0, 0), vecmath.V(0, 0, d.Z), walls)
+}
+
+// box adds the six outward-facing faces of an axis-aligned box [min, max].
+func (b *builder) box(min, max vecmath.Vec3, mat int) {
+	d := max.Sub(min)
+	// bottom z=min.Z, normal -z
+	b.quad(min, vecmath.V(0, d.Y, 0), vecmath.V(d.X, 0, 0), mat)
+	// top z=max.Z, normal +z
+	b.quad(vecmath.V(min.X, min.Y, max.Z), vecmath.V(d.X, 0, 0), vecmath.V(0, d.Y, 0), mat)
+	// x=min.X, normal -x
+	b.quad(min, vecmath.V(0, d.Y, 0), vecmath.V(0, 0, d.Z), mat)
+	// x=max.X, normal +x
+	b.quad(vecmath.V(max.X, min.Y, min.Z), vecmath.V(0, 0, d.Z), vecmath.V(0, d.Y, 0), mat)
+	// y=min.Y, normal -y
+	b.quad(min, vecmath.V(0, 0, d.Z), vecmath.V(d.X, 0, 0), mat)
+	// y=max.Y, normal +y
+	b.quad(vecmath.V(min.X, max.Y, min.Z), vecmath.V(d.X, 0, 0), vecmath.V(0, 0, d.Z), mat)
+}
+
+// legs adds four 4-sided legs (no caps) under a table top.
+func (b *builder) legs(min, max vecmath.Vec3, inset, thick, height float64, mat int) {
+	for _, corner := range [4][2]float64{
+		{min.X + inset, min.Y + inset},
+		{max.X - inset - thick, min.Y + inset},
+		{min.X + inset, max.Y - inset - thick},
+		{max.X - inset - thick, max.Y - inset - thick},
+	} {
+		x, y := corner[0], corner[1]
+		lo := vecmath.V(x, y, min.Z)
+		// four side faces only (tables hide caps)
+		b.quad(lo, vecmath.V(0, thick, 0), vecmath.V(0, 0, height), mat)
+		b.quad(vecmath.V(x+thick, y, min.Z), vecmath.V(0, 0, height), vecmath.V(0, thick, 0), mat)
+		b.quad(lo, vecmath.V(0, 0, height), vecmath.V(thick, 0, 0), mat)
+		b.quad(vecmath.V(x, y+thick, min.Z), vecmath.V(thick, 0, 0), vecmath.V(0, 0, height), mat)
+	}
+}
+
+func (b *builder) build(name string) (*Scene, error) {
+	g, err := geom.NewScene(b.patches)
+	if err != nil {
+		return nil, err
+	}
+	return &Scene{Name: name, Geom: g, Materials: b.materials}, nil
+}
+
+// Quickstart returns a minimal single-room scene: white walls, one ceiling
+// light, one floor — a few seconds to converge. It is the example scene.
+func Quickstart() (*Scene, error) {
+	b := newBuilder()
+	white := b.material(brdf.MatteWhite())
+	gray := b.material(brdf.MatteGray())
+	b.room(vecmath.V(0, 0, 0), vecmath.V(4, 4, 3), gray, white, white)
+	b.light(vecmath.V(1.5, 1.5, 2.99), vecmath.V(0, 1, 0), vecmath.V(1, 0, 0),
+		vecmath.V(40, 40, 40), 1, white)
+	return b.build("quickstart")
+}
+
+// CornellBox returns the Cornell Box with the paper's floating central
+// mirror: ~30 defining polygons (Table 5.1 row 1). Dimensions follow the
+// classic 5.5m box scaled to unit-ish metres.
+func CornellBox() (*Scene, error) {
+	b := newBuilder()
+	white := b.material(brdf.MatteWhite())
+	red := b.material(brdf.MatteRed())
+	green := b.material(brdf.MatteGreen())
+	mirror := b.material(brdf.MirrorMaterial())
+
+	const s = 5.5 // box side
+	// Walls individually so left/right get their colours (6 patches).
+	// floor
+	b.quad(vecmath.V(0, 0, 0), vecmath.V(s, 0, 0), vecmath.V(0, s, 0), white)
+	// ceiling
+	b.quad(vecmath.V(0, 0, s), vecmath.V(0, s, 0), vecmath.V(s, 0, 0), white)
+	// left (x=0) red, normal +x
+	b.quad(vecmath.V(0, 0, 0), vecmath.V(0, s, 0), vecmath.V(0, 0, s), red)
+	// right (x=s) green, normal -x
+	b.quad(vecmath.V(s, 0, 0), vecmath.V(0, 0, s), vecmath.V(0, s, 0), green)
+	// back (y=s), normal -y
+	b.quad(vecmath.V(0, s, 0), vecmath.V(s, 0, 0), vecmath.V(0, 0, s), white)
+	// front (y=0) closes the box, normal +y
+	b.quad(vecmath.V(0, 0, 0), vecmath.V(0, 0, s), vecmath.V(s, 0, 0), white)
+
+	// Ceiling light with a 4-strip surround frame (5 patches).
+	const l0, l1, lz = 2.0, 3.5, 5.49
+	b.light(vecmath.V(l0, l0, lz), vecmath.V(0, l1-l0, 0), vecmath.V(l1-l0, 0, 0),
+		vecmath.V(60, 60, 48), 1, white)
+	const f = 0.25
+	b.quad(vecmath.V(l0-f, l0-f, lz-0.001), vecmath.V(0, l1-l0+2*f, 0), vecmath.V(f, 0, 0), white)
+	b.quad(vecmath.V(l1, l0-f, lz-0.001), vecmath.V(0, l1-l0+2*f, 0), vecmath.V(f, 0, 0), white)
+	b.quad(vecmath.V(l0, l0-f, lz-0.001), vecmath.V(0, f, 0), vecmath.V(l1-l0, 0, 0), white)
+	b.quad(vecmath.V(l0, l1, lz-0.001), vecmath.V(0, f, 0), vecmath.V(l1-l0, 0, 0), white)
+
+	// The two classic boxes (12 patches).
+	b.box(vecmath.V(0.7, 3.0, 0), vecmath.V(2.3, 4.6, 1.65), white) // short
+	b.box(vecmath.V(3.2, 1.2, 0), vecmath.V(4.7, 2.7, 3.3), white)  // tall
+
+	// The floating mirror: a two-sided panel in the centre of the room,
+	// tilted toward the viewer, with a 4-strip frame (6 patches).
+	mo := vecmath.V(1.9, 2.6, 2.1)
+	me1 := vecmath.V(1.7, 0, 0.35)
+	me2 := vecmath.V(0, 1.3, 0)
+	b.quad(mo, me1, me2, mirror)                // front face
+	b.quad(mo.Add(me2), me1, me2.Neg(), mirror) // back face (flipped winding)
+	frame := func(o, e1, e2 vecmath.Vec3) { b.quad(o, e1, e2, white) }
+	off := me1.Cross(me2).Norm().Scale(0.02)
+	frame(mo.Sub(off), me1, off.Scale(2))
+	frame(mo.Add(me2).Sub(off), me1, off.Scale(2))
+	frame(mo.Sub(off), off.Scale(2), me2)
+	frame(mo.Add(me1).Sub(off), off.Scale(2), me2)
+
+	return b.build("cornell-box")
+}
+
+// HarpsichordRoom returns the Harpsichord Practice Room: ~100 defining
+// polygons (Table 5.1 row 2). A room with two skylights (each a collimated
+// "sun" panel plus a diffuse "sky" panel), a mirrored music shelf, and a
+// harpsichord with bench.
+func HarpsichordRoom() (*Scene, error) {
+	b := newBuilder()
+	white := b.material(brdf.MatteWhite())
+	gray := b.material(brdf.MatteGray())
+	wood := b.material(brdf.LacqueredWood())
+	mirror := b.material(brdf.MirrorMaterial())
+	semi := b.material(brdf.SemiGloss())
+
+	// Room 8 x 6 x 3.5 m (6 patches).
+	b.room(vecmath.V(0, 0, 0), vecmath.V(8, 6, 3.5), gray, white, white)
+
+	// Two skylights, each: 4 frame strips + 1 sun panel + 1 sky panel = 12.
+	skylight := func(x0, y0 float64) {
+		const w, d, z = 1.4, 1.0, 3.49
+		// frame
+		b.quad(vecmath.V(x0-0.1, y0-0.1, z), vecmath.V(0, d+0.2, 0), vecmath.V(0.1, 0, 0), white)
+		b.quad(vecmath.V(x0+w, y0-0.1, z), vecmath.V(0, d+0.2, 0), vecmath.V(0.1, 0, 0), white)
+		b.quad(vecmath.V(x0, y0-0.1, z), vecmath.V(0, 0.1, 0), vecmath.V(w, 0, 0), white)
+		b.quad(vecmath.V(x0, y0+d, z), vecmath.V(0, 0.1, 0), vecmath.V(w, 0, 0), white)
+		// sun: strongly collimated, very bright, slightly warm
+		b.light(vecmath.V(x0, y0, z+0.005), vecmath.V(0, d, 0), vecmath.V(w/2, 0, 0),
+			vecmath.V(900, 870, 780), sampler.SunScale, white)
+		// sky: diffuse, bluish
+		b.light(vecmath.V(x0+w/2, y0, z+0.005), vecmath.V(0, d, 0), vecmath.V(w/2, 0, 0),
+			vecmath.V(30, 38, 55), 1, white)
+	}
+	skylight(2.0, 2.2)
+	skylight(5.0, 2.2)
+
+	// Mirrored music shelf on the back wall: mirror + shelf box + 2 books
+	// (1 + 6 + 4 = 11).
+	b.quad(vecmath.V(2.5, 5.99, 1.4), vecmath.V(2.0, 0, 0), vecmath.V(0, 0, 1.0), mirror)
+	b.box(vecmath.V(2.4, 5.7, 1.2), vecmath.V(4.6, 5.99, 1.4), wood)
+	b.quad(vecmath.V(2.8, 5.85, 1.4), vecmath.V(0.5, 0, 0), vecmath.V(0, 0, 0.35), white)
+	b.quad(vecmath.V(3.5, 5.85, 1.4), vecmath.V(0.5, 0, 0), vecmath.V(0, -0.05, 0.35), white)
+	b.quad(vecmath.V(2.8, 5.84, 1.4), vecmath.V(0.5, 0, 0), vecmath.V(0, -0.01, 0), white)
+	b.quad(vecmath.V(3.5, 5.84, 1.4), vecmath.V(0.5, 0, 0), vecmath.V(0, -0.01, 0), white)
+
+	// Harpsichord: body box (6), lid (2: top + underside), keyboard (3),
+	// 4 legs x 4 faces (16), music desk (1), = 28.
+	bodyMin, bodyMax := vecmath.V(2.8, 1.0, 0.75), vecmath.V(5.6, 2.1, 1.0)
+	b.box(bodyMin, bodyMax, wood)
+	// lid propped open at ~40 degrees
+	b.quad(vecmath.V(2.8, 2.1, 1.0), vecmath.V(2.8, 0, 0), vecmath.V(0, -0.85, 0.7), wood)
+	b.quad(vecmath.V(2.8, 1.25, 1.7), vecmath.V(2.8, 0, 0), vecmath.V(0, 0.85, -0.7), wood)
+	// keyboard shelf
+	b.quad(vecmath.V(2.8, 0.82, 0.78), vecmath.V(0, 0.18, 0), vecmath.V(2.8, 0, 0), white)
+	b.quad(vecmath.V(2.8, 0.82, 0.74), vecmath.V(2.8, 0, 0), vecmath.V(0, 0.18, 0), gray)
+	b.quad(vecmath.V(2.8, 0.82, 0.74), vecmath.V(2.8, 0, 0), vecmath.V(0, 0, 0.04), gray)
+	b.legs(vecmath.V(2.9, 1.05, 0), vecmath.V(5.5, 2.05, 0.75), 0.05, 0.08, 0.75, wood)
+	// music desk on the body
+	b.quad(vecmath.V(3.4, 1.9, 1.0), vecmath.V(1.2, 0, 0), vecmath.V(0, -0.2, 0.45), wood)
+
+	// Bench: top (1) + 4 legs x 4 (16) = 17.
+	b.quad(vecmath.V(3.6, 0.1, 0.5), vecmath.V(1.2, 0, 0), vecmath.V(0, 0.45, 0), semi)
+	b.legs(vecmath.V(3.6, 0.1, 0), vecmath.V(4.8, 0.55, 0.5), 0.04, 0.06, 0.5, wood)
+
+	// Wall decorations: 4 picture frames x 2 patches, door (1), rug (1) = 10.
+	pic := func(x, z float64) {
+		b.quad(vecmath.V(0.01, 0, 0).Add(vecmath.V(0, x, z)), vecmath.V(0, 0.8, 0), vecmath.V(0, 0, 0.6), semi)
+		b.quad(vecmath.V(0.005, 0, 0).Add(vecmath.V(0, x-0.05, z-0.05)), vecmath.V(0, 0.9, 0), vecmath.V(0, 0, 0.7), gray)
+	}
+	pic(1.0, 1.6)
+	pic(2.4, 1.6)
+	pic(3.8, 1.6)
+	pic(5.2, 1.6)
+	b.quad(vecmath.V(7.99, 1.0, 0), vecmath.V(0, 1.0, 0), vecmath.V(0, 0, 2.1), wood)   // door
+	b.quad(vecmath.V(2.5, 0.8, 0.01), vecmath.V(3.5, 0, 0), vecmath.V(0, 2.0, 0), gray) // rug
+
+	return b.build("harpsichord-room")
+}
+
+// ComputerLab returns the Computer Laboratory: ~2000 defining polygons
+// (Table 5.1 row 3). Rows of desks with workstations, chairs and ceiling
+// lights — bulkier geometry with a fairly even light distribution, which is
+// why the paper sees its most uniform speedups here.
+func ComputerLab() (*Scene, error) {
+	b := newBuilder()
+	white := b.material(brdf.MatteWhite())
+	gray := b.material(brdf.MatteGray())
+	wood := b.material(brdf.LacqueredWood())
+	semi := b.material(brdf.SemiGloss())
+
+	// Room 16 x 12 x 3 m.
+	b.room(vecmath.V(0, 0, 0), vecmath.V(16, 12, 3), gray, white, white)
+
+	// Ceiling light grid: 4 x 3 panels, each with 4 frame strips (12 * 5 = 60).
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			x := 1.5 + float64(i)*3.6
+			y := 1.5 + float64(j)*3.6
+			b.light(vecmath.V(x, y, 2.99), vecmath.V(0, 1.2, 0), vecmath.V(1.2, 0, 0),
+				vecmath.V(55, 55, 50), 1, white)
+			const f = 0.12
+			b.quad(vecmath.V(x-f, y-f, 2.985), vecmath.V(0, 1.2+2*f, 0), vecmath.V(f, 0, 0), white)
+			b.quad(vecmath.V(x+1.2, y-f, 2.985), vecmath.V(0, 1.2+2*f, 0), vecmath.V(f, 0, 0), white)
+			b.quad(vecmath.V(x, y-f, 2.985), vecmath.V(0, f, 0), vecmath.V(1.2, 0, 0), white)
+			b.quad(vecmath.V(x, y+1.2, 2.985), vecmath.V(0, f, 0), vecmath.V(1.2, 0, 0), white)
+		}
+	}
+
+	// Workstation: desk top (1) + 4 legs x 4 (16) + monitor (6) + screen (1)
+	// + case (6) + keyboard (6) + chair seat/back (2 boxes = 12) + 4 chair
+	// legs x 4 (16) = 64 patches per station.
+	station := func(x, y float64) {
+		deskMin, deskMax := vecmath.V(x, y, 0.72), vecmath.V(x+1.4, y+0.8, 0.76)
+		b.box(deskMin, deskMax, wood)                                                     // 6 (top slab)
+		b.legs(vecmath.V(x, y, 0), vecmath.V(x+1.4, y+0.8, 0.72), 0.04, 0.06, 0.72, gray) // 16
+		// monitor
+		b.box(vecmath.V(x+0.45, y+0.45, 0.76), vecmath.V(x+0.95, y+0.72, 1.2), semi)               // 6
+		b.quad(vecmath.V(x+0.5, y+0.449, 0.82), vecmath.V(0.4, 0, 0), vecmath.V(0, 0, 0.32), gray) // screen
+		// case under desk
+		b.box(vecmath.V(x+1.0, y+0.2, 0), vecmath.V(x+1.25, y+0.65, 0.45), semi) // 6
+		// keyboard
+		b.box(vecmath.V(x+0.45, y+0.08, 0.76), vecmath.V(x+0.95, y+0.28, 0.79), semi) // 6
+		// chair
+		b.box(vecmath.V(x+0.45, y-0.65, 0.42), vecmath.V(x+0.95, y-0.15, 0.48), gray)             // seat 6
+		b.box(vecmath.V(x+0.45, y-0.20, 0.48), vecmath.V(x+0.95, y-0.14, 1.0), gray)              // back 6
+		b.legs(vecmath.V(x+0.5, y-0.6, 0), vecmath.V(x+0.9, y-0.2, 0.42), 0.02, 0.05, 0.42, gray) // 16
+	}
+	// 5 rows x 6 stations = 30 stations * 62 patches ≈ 1860.
+	for row := 0; row < 5; row++ {
+		for col := 0; col < 6; col++ {
+			station(0.8+float64(col)*2.5, 1.6+float64(row)*2.1)
+		}
+	}
+
+	// Whiteboard and door.
+	b.quad(vecmath.V(0.01, 3, 0.9), vecmath.V(0, 4, 0), vecmath.V(0, 0, 1.4), white)
+	b.quad(vecmath.V(15.99, 5, 0), vecmath.V(0, 1.1, 0), vecmath.V(0, 0, 2.1), wood)
+
+	return b.build("computer-lab")
+}
+
+// ByName returns a scene constructor by its canonical name, for CLIs.
+func ByName(name string) (func() (*Scene, error), bool) {
+	switch name {
+	case "quickstart":
+		return Quickstart, true
+	case "cornell", "cornell-box":
+		return CornellBox, true
+	case "harpsichord", "harpsichord-room":
+		return HarpsichordRoom, true
+	case "lab", "computer-lab":
+		return ComputerLab, true
+	}
+	return nil, false
+}
+
+// Names lists the canonical scene names.
+func Names() []string {
+	return []string{"quickstart", "cornell-box", "harpsichord-room", "computer-lab"}
+}

@@ -1,0 +1,254 @@
+package scenes
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/brdf"
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/sampler"
+	"repro/internal/vecmath"
+)
+
+func TestQuickstartBuilds(t *testing.T) {
+	s, err := Quickstart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Geom.Luminaires) == 0 {
+		t.Fatal("no luminaires")
+	}
+	if s.DefiningPolygons() < 7 {
+		t.Fatalf("too few polygons: %d", s.DefiningPolygons())
+	}
+}
+
+func TestCornellBoxPolygonCount(t *testing.T) {
+	s, err := CornellBox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 5.1: 30 defining polygons (appendix says 33).
+	n := s.DefiningPolygons()
+	if n < 25 || n > 36 {
+		t.Fatalf("Cornell Box has %d polygons, want ~30", n)
+	}
+}
+
+func TestCornellBoxHasCentralMirror(t *testing.T) {
+	s, err := CornellBox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for i := range s.Geom.Patches {
+		if s.Material(i).Kind == brdf.Mirror {
+			c := s.Geom.Patches[i].Centroid()
+			// Floating: well off every wall.
+			if c.X > 1 && c.X < 4.5 && c.Y > 1 && c.Y < 4.5 && c.Z > 1 && c.Z < 4.5 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no floating central mirror")
+	}
+}
+
+func TestHarpsichordRoomPolygonCount(t *testing.T) {
+	s, err := HarpsichordRoom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.DefiningPolygons()
+	if n < 80 || n > 120 {
+		t.Fatalf("Harpsichord Room has %d polygons, want ~100", n)
+	}
+}
+
+func TestHarpsichordRoomHasSunAndSky(t *testing.T) {
+	s, err := HarpsichordRoom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sun, sky := 0, 0
+	for _, li := range s.Geom.Luminaires {
+		p := &s.Geom.Patches[li]
+		if p.Collimation < 0.1 {
+			sun++
+		} else {
+			sky++
+		}
+	}
+	if sun < 2 {
+		t.Fatalf("want >=2 collimated sun panels, got %d", sun)
+	}
+	if sky < 2 {
+		t.Fatalf("want >=2 diffuse sky panels, got %d", sky)
+	}
+	// Sun collimation must match the paper's quarter-degree scaling.
+	for _, li := range s.Geom.Luminaires {
+		p := &s.Geom.Patches[li]
+		if p.Collimation < 0.1 && p.Collimation != sampler.SunScale {
+			t.Fatalf("sun collimation = %v, want %v", p.Collimation, sampler.SunScale)
+		}
+	}
+}
+
+func TestHarpsichordRoomHasMirrorShelf(t *testing.T) {
+	s, err := HarpsichordRoom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Geom.Patches {
+		if s.Material(i).Kind == brdf.Mirror {
+			return
+		}
+	}
+	t.Fatal("no mirror in the harpsichord room")
+}
+
+func TestComputerLabPolygonCount(t *testing.T) {
+	s, err := ComputerLab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.DefiningPolygons()
+	if n < 1700 || n > 2300 {
+		t.Fatalf("Computer Lab has %d polygons, want ~2000", n)
+	}
+}
+
+func TestComputerLabLightGrid(t *testing.T) {
+	s, err := ComputerLab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Geom.Luminaires); got != 12 {
+		t.Fatalf("lab has %d luminaires, want 12", got)
+	}
+}
+
+func TestPolygonCountOrdering(t *testing.T) {
+	// Table 5.1's complexity ordering: CB < HR < CL.
+	cb, _ := CornellBox()
+	hr, _ := HarpsichordRoom()
+	cl, _ := ComputerLab()
+	if !(cb.DefiningPolygons() < hr.DefiningPolygons() &&
+		hr.DefiningPolygons() < cl.DefiningPolygons()) {
+		t.Fatalf("polygon counts not ordered: %d, %d, %d",
+			cb.DefiningPolygons(), hr.DefiningPolygons(), cl.DefiningPolygons())
+	}
+}
+
+func TestAllScenesMaterialsValid(t *testing.T) {
+	for _, name := range Names() {
+		ctor, ok := ByName(name)
+		if !ok {
+			t.Fatalf("ByName(%q) missing", name)
+		}
+		s, err := ctor()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i, m := range s.Materials {
+			if !m.Validate() {
+				t.Errorf("%s material %d (%s) invalid", name, i, m.Name)
+			}
+		}
+		// Every patch's material index must resolve.
+		for i := range s.Geom.Patches {
+			mi := s.Geom.Patches[i].Material
+			if mi < 0 || mi >= len(s.Materials) {
+				t.Fatalf("%s patch %d has bad material %d", name, i, mi)
+			}
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, ok := ByName("nonexistent"); ok {
+		t.Fatal("unknown scene resolved")
+	}
+}
+
+func TestScenesAreClosedRooms(t *testing.T) {
+	// Photon tracing depends on rooms being closed: from well inside the
+	// room, every random ray must hit something.
+	for _, name := range Names() {
+		ctor, _ := ByName(name)
+		s, err := ctor()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := s.Geom.Bounds().Center()
+		r := rng.New(5)
+		misses := 0
+		var h geom.Hit
+		for i := 0; i < 2000; i++ {
+			ray := vecmath.Ray{Origin: c, Dir: sampler.UniformSphere(r)}
+			if !s.Geom.Intersect(ray, &h) {
+				misses++
+			}
+		}
+		if misses > 0 {
+			t.Errorf("%s: %d/2000 rays escaped the room", name, misses)
+		}
+	}
+}
+
+func TestSceneDeterminism(t *testing.T) {
+	a, _ := HarpsichordRoom()
+	b, _ := HarpsichordRoom()
+	if a.DefiningPolygons() != b.DefiningPolygons() {
+		t.Fatal("scene construction not deterministic")
+	}
+	for i := range a.Geom.Patches {
+		if a.Geom.Patches[i].Origin != b.Geom.Patches[i].Origin {
+			t.Fatalf("patch %d differs between builds", i)
+		}
+	}
+}
+
+func TestEmissivePatchesAreInsideRooms(t *testing.T) {
+	for _, name := range Names() {
+		ctor, _ := ByName(name)
+		s, _ := ctor()
+		b := s.Geom.Bounds().Pad(0.1)
+		for _, li := range s.Geom.Luminaires {
+			c := s.Geom.Patches[li].Centroid()
+			if !b.Contains(c) {
+				t.Errorf("%s: luminaire %d outside room bounds", name, li)
+			}
+		}
+	}
+}
+
+func TestRoomWallNormalsPointInward(t *testing.T) {
+	// The first six patches of every built-in scene are the room shell;
+	// their front normals must face the room interior (the radiosity
+	// baseline shoots form-factor rays along front normals).
+	for _, name := range Names() {
+		ctor, _ := ByName(name)
+		s, _ := ctor()
+		c := s.Geom.Bounds().Center()
+		for i := 0; i < 6 && i < len(s.Geom.Patches); i++ {
+			p := &s.Geom.Patches[i]
+			toCenter := c.Sub(p.Centroid()).Norm()
+			if p.Normal().Dot(toCenter) <= 0 {
+				t.Errorf("%s wall %d: normal %v faces away from the room", name, i, p.Normal())
+			}
+		}
+	}
+}
+
+func TestTotalEmissionPowerPositive(t *testing.T) {
+	for _, name := range Names() {
+		ctor, _ := ByName(name)
+		s, _ := ctor()
+		if p := s.Geom.TotalEmissionPower(); p <= 0 || math.IsNaN(p) {
+			t.Errorf("%s: emission power %v", name, p)
+		}
+	}
+}

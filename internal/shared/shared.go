@@ -1,0 +1,130 @@
+// Package shared implements the shared-memory parallelization of Photon
+// (Figure 5.2): every worker executes the same trace loop against one
+// shared bin forest, with mutual exclusion around bin updates following the
+// paper's multiple-reader / single-writer protocol. Workers draw from
+// leapfrogged random substreams so no photon work is duplicated.
+//
+// Locking granularity is the per-polygon bin tree (the natural striping of
+// the forest in Figure 4.6): readers of other trees are never blocked while
+// one tree splits, which is the property the paper's semaphore scheme
+// exists to provide.
+package shared
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/bintree"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/scenes"
+)
+
+// Config extends the serial configuration with a worker count.
+type Config struct {
+	Core    core.Config
+	Workers int
+}
+
+// DefaultConfig uses all available CPUs.
+func DefaultConfig(photons int64) Config {
+	return Config{Core: core.DefaultConfig(photons), Workers: runtime.GOMAXPROCS(0)}
+}
+
+// LockedForest guards a bin forest with one RWMutex per tree. Tally
+// updates (which may split) take the tree's write lock; radiance queries
+// take the read lock, so a viewer can render concurrently with an ongoing
+// simulation — the paper's lights-on-while-walking-in picture.
+type LockedForest struct {
+	forest *bintree.Forest
+	locks  []sync.RWMutex
+}
+
+// NewLockedForest wraps a fresh forest for nPatches patches.
+func NewLockedForest(nPatches int, cfg bintree.Config) *LockedForest {
+	return &LockedForest{
+		forest: bintree.NewForest(nPatches, cfg),
+		locks:  make([]sync.RWMutex, nPatches),
+	}
+}
+
+// Add tallies a photon under the owning tree's write lock; reports a split.
+func (lf *LockedForest) Add(patch int, p bintree.Point, w bintree.RGB) bool {
+	lf.locks[patch].Lock()
+	split := lf.forest.Add(patch, p, w)
+	lf.locks[patch].Unlock()
+	return split
+}
+
+// Radiance queries under the read lock.
+func (lf *LockedForest) Radiance(patch int, p bintree.Point, patchArea float64) bintree.RGB {
+	lf.locks[patch].RLock()
+	r := lf.forest.Radiance(patch, p, patchArea)
+	lf.locks[patch].RUnlock()
+	return r
+}
+
+// Forest returns the underlying forest. Callers must ensure no concurrent
+// mutation (i.e. after Run returns).
+func (lf *LockedForest) Forest() *bintree.Forest { return lf.forest }
+
+// Run executes the shared-memory simulation: cfg.Workers goroutines share
+// the scene and the locked forest, splitting cfg.Core.Photons between them
+// (Figure 5.2's "for iphot = 1 to nphot/nprocessors" per processor).
+func Run(scene *scenes.Scene, cfg Config) (*core.Result, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("shared: Workers must be positive, got %d", cfg.Workers)
+	}
+	sim, err := core.NewSimulator(scene, cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	binCfg := sim.Config().Bin
+	lf := NewLockedForest(len(scene.Geom.Patches), binCfg)
+
+	// Leapfrog the global stream into per-worker disjoint substreams.
+	streams := rng.Leapfrog(rng.New(cfg.Core.Seed), cfg.Workers)
+
+	// Distribute photons, remainder to the low ranks.
+	per := cfg.Core.Photons / int64(cfg.Workers)
+	rem := cfg.Core.Photons % int64(cfg.Workers)
+
+	statsCh := make(chan core.Stats, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		n := per
+		if int64(w) < rem {
+			n++
+		}
+		wg.Add(1)
+		go func(worker int, photons int64) {
+			defer wg.Done()
+			var st core.Stats
+			stream := streams[worker]
+			var splits int64
+			for i := int64(0); i < photons; i++ {
+				sim.TracePhotonFunc(stream, &st, func(t core.Tally) {
+					if lf.Add(int(t.Patch), t.Point, t.Power) {
+						splits++
+					}
+				})
+			}
+			st.BinSplits = splits
+			statsCh <- st
+		}(w, n)
+	}
+	wg.Wait()
+	close(statsCh)
+
+	var total core.Stats
+	for st := range statsCh {
+		total.Add(st)
+	}
+	return &core.Result{
+		Scene:          scene,
+		Forest:         lf.Forest(),
+		Stats:          total,
+		EmittedPhotons: total.PhotonsEmitted,
+	}, nil
+}

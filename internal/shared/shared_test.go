@@ -1,0 +1,183 @@
+package shared
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/bintree"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/scenes"
+)
+
+func quickScene(t testing.TB) *scenes.Scene {
+	t.Helper()
+	s, err := scenes.Quickstart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRunValidatesWorkers(t *testing.T) {
+	s := quickScene(t)
+	cfg := DefaultConfig(100)
+	cfg.Workers = 0
+	if _, err := Run(s, cfg); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+}
+
+func TestRunEmitsExactCount(t *testing.T) {
+	s := quickScene(t)
+	for _, workers := range []int{1, 2, 3, 8} {
+		cfg := Config{Core: core.DefaultConfig(10001), Workers: workers}
+		res, err := Run(s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.PhotonsEmitted != 10001 {
+			t.Fatalf("workers=%d: emitted %d, want 10001", workers, res.Stats.PhotonsEmitted)
+		}
+	}
+}
+
+func TestForestConservation(t *testing.T) {
+	s := quickScene(t)
+	cfg := Config{Core: core.DefaultConfig(20000), Workers: 4}
+	res, err := Run(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Stats.PhotonsEmitted + res.Stats.Reflections
+	if got := res.Forest.TotalPhotons(); got != want {
+		t.Fatalf("forest tallies %d, want %d", got, want)
+	}
+	// Per-tree leaf sums intact after concurrent splitting.
+	for i := 0; i < res.Forest.NumTrees(); i++ {
+		tr := res.Forest.Tree(i)
+		if tr.SumLeafCounts() != tr.Total() {
+			t.Fatalf("tree %d leaf sum %d != total %d", i, tr.SumLeafCounts(), tr.Total())
+		}
+	}
+}
+
+func TestMatchesSerialStatistically(t *testing.T) {
+	// The shared engine is the same physics on different substreams; its
+	// mean path length must match the serial engine within Monte Carlo
+	// noise.
+	s := quickScene(t)
+	serial, err := core.Run(s, core.DefaultConfig(40000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(s, Config{Core: core.DefaultConfig(40000), Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := serial.Stats.MeanPathLength(), par.Stats.MeanPathLength()
+	if math.Abs(a-b) > 0.05*a {
+		t.Fatalf("mean path length diverges: serial %v, shared %v", a, b)
+	}
+}
+
+func TestWorkersUseDisjointStreams(t *testing.T) {
+	// With equal seeds but different worker counts, the engines must not
+	// produce identical per-photon sequences (streams are partitioned), yet
+	// totals agree statistically. Here we just check the partition: the
+	// result with 2 workers differs from 1 worker in raw stats.
+	s := quickScene(t)
+	one, _ := Run(s, Config{Core: core.DefaultConfig(5000), Workers: 1})
+	two, _ := Run(s, Config{Core: core.DefaultConfig(5000), Workers: 2})
+	if one.Stats == two.Stats {
+		t.Fatal("1-worker and 2-worker runs produced identical stats; streams not partitioned")
+	}
+}
+
+func TestSingleWorkerMatchesSerialExactly(t *testing.T) {
+	// One worker with the same seed is the serial algorithm.
+	s := quickScene(t)
+	serial, _ := core.Run(s, core.DefaultConfig(5000))
+	par, _ := Run(s, Config{Core: core.DefaultConfig(5000), Workers: 1})
+	if serial.Stats != par.Stats {
+		t.Fatalf("1-worker diverges from serial:\n%+v\n%+v", serial.Stats, par.Stats)
+	}
+	if serial.Forest.TotalLeaves() != par.Forest.TotalLeaves() {
+		t.Fatal("1-worker forest differs from serial")
+	}
+}
+
+func TestConcurrentAddStress(t *testing.T) {
+	// Hammer one LockedForest from many goroutines; run with -race to
+	// verify the locking discipline.
+	lf := NewLockedForest(4, bintree.DefaultConfig())
+	var wg sync.WaitGroup
+	const goroutines = 8
+	const perG = 20000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rng.New(seed)
+			for i := 0; i < perG; i++ {
+				p := bintree.Point{S: r.Float64() * r.Float64(), T: r.Float64(), R2: r.Float64(), Theta: r.Float64() * 6.28}
+				lf.Add(r.Intn(4), p, bintree.RGB{R: 1, G: 1, B: 1})
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+	if got := lf.Forest().TotalPhotons(); got != goroutines*perG {
+		t.Fatalf("lost tallies under concurrency: %d, want %d", got, goroutines*perG)
+	}
+	for i := 0; i < 4; i++ {
+		tr := lf.Forest().Tree(i)
+		if tr.SumLeafCounts() != tr.Total() {
+			t.Fatalf("tree %d corrupted: leaf sum %d != total %d", i, tr.SumLeafCounts(), tr.Total())
+		}
+	}
+}
+
+func TestConcurrentReadDuringWrite(t *testing.T) {
+	// Radiance queries while another goroutine mutates: must be race-free
+	// and never panic.
+	lf := NewLockedForest(1, bintree.DefaultConfig())
+	done := make(chan struct{})
+	go func() {
+		r := rng.New(1)
+		for i := 0; i < 50000; i++ {
+			lf.Add(0, bintree.Point{S: r.Float64() * r.Float64(), T: r.Float64(), R2: r.Float64(), Theta: 1}, bintree.RGB{R: 1})
+		}
+		close(done)
+	}()
+	r := rng.New(2)
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			lf.Radiance(0, bintree.Point{S: r.Float64(), T: r.Float64(), R2: 0.5, Theta: 1}, 1)
+		}
+	}
+}
+
+func TestMoreWorkersThanPhotons(t *testing.T) {
+	s := quickScene(t)
+	res, err := Run(s, Config{Core: core.DefaultConfig(3), Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PhotonsEmitted != 3 {
+		t.Fatalf("emitted %d, want 3", res.Stats.PhotonsEmitted)
+	}
+}
+
+func BenchmarkSharedRun4Workers(b *testing.B) {
+	s := quickScene(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(s, Config{Core: core.DefaultConfig(10000), Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyAABB(t *testing.T) {
+	e := EmptyAABB()
+	if !e.IsEmpty() {
+		t.Fatal("EmptyAABB not empty")
+	}
+	if e.Contains(V(0, 0, 0)) {
+		t.Fatal("empty box contains a point")
+	}
+	if e.SurfaceArea() != 0 {
+		t.Fatalf("empty box surface area = %v", e.SurfaceArea())
+	}
+}
+
+func TestNewAABBOrdersCorners(t *testing.T) {
+	b := NewAABB(V(1, -2, 5), V(-3, 4, 0))
+	if b.Min != V(-3, -2, 0) || b.Max != V(1, 4, 5) {
+		t.Fatalf("NewAABB = %+v", b)
+	}
+}
+
+func TestUnionIdentity(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(1, 2, 3))
+	if got := EmptyAABB().Union(b); got != b {
+		t.Fatalf("empty union b = %+v, want %+v", got, b)
+	}
+	if got := b.Union(EmptyAABB()); got != b {
+		t.Fatalf("b union empty = %+v, want %+v", got, b)
+	}
+}
+
+func TestExtendContains(t *testing.T) {
+	f := func(px, py, pz float64) bool {
+		p := V(math.Mod(px, 1e6), math.Mod(py, 1e6), math.Mod(pz, 1e6))
+		b := EmptyAABB().Extend(p)
+		return b.Contains(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionContainsBoth(t *testing.T) {
+	a := NewAABB(V(0, 0, 0), V(1, 1, 1))
+	b := NewAABB(V(2, -1, 0.5), V(3, 0, 4))
+	u := a.Union(b)
+	for _, p := range []Vec3{a.Min, a.Max, b.Min, b.Max} {
+		if !u.Contains(p) {
+			t.Errorf("union does not contain %v", p)
+		}
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := NewAABB(V(0, 0, 0), V(1, 1, 1))
+	cases := []struct {
+		b    AABB
+		want bool
+	}{
+		{NewAABB(V(0.5, 0.5, 0.5), V(2, 2, 2)), true},
+		{NewAABB(V(1, 1, 1), V(2, 2, 2)), true}, // touching corner counts
+		{NewAABB(V(1.1, 0, 0), V(2, 1, 1)), false},
+		{NewAABB(V(-1, -1, -1), V(2, 2, 2)), true}, // containment
+	}
+	for i, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("case %d: Overlaps = %v, want %v", i, got, c.want)
+		}
+		if got := c.b.Overlaps(a); got != c.want {
+			t.Errorf("case %d: Overlaps not symmetric", i)
+		}
+	}
+}
+
+func TestCenterSize(t *testing.T) {
+	b := NewAABB(V(0, 2, -4), V(2, 6, 0))
+	if got := b.Center(); !got.NearEqual(V(1, 4, -2), eps) {
+		t.Errorf("Center = %v", got)
+	}
+	if got := b.Size(); !got.NearEqual(V(2, 4, 4), eps) {
+		t.Errorf("Size = %v", got)
+	}
+}
+
+func TestSurfaceArea(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(1, 2, 3))
+	// 2*(1*2 + 2*3 + 3*1) = 22
+	if got := b.SurfaceArea(); math.Abs(got-22) > eps {
+		t.Fatalf("SurfaceArea = %v, want 22", got)
+	}
+}
+
+func TestPad(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(1, 1, 1)).Pad(0.5)
+	if b.Min != V(-0.5, -0.5, -0.5) || b.Max != V(1.5, 1.5, 1.5) {
+		t.Fatalf("Pad = %+v", b)
+	}
+}
+
+func TestOctantsPartition(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(2, 2, 2))
+	// The 8 octants tile the box: total volume matches, each contains its
+	// expected corner.
+	var vol float64
+	for i := 0; i < 8; i++ {
+		o := b.Octant(i)
+		s := o.Size()
+		vol += s.X * s.Y * s.Z
+	}
+	if math.Abs(vol-8) > eps {
+		t.Fatalf("octant volumes sum to %v, want 8", vol)
+	}
+	if !b.Octant(0).Contains(V(0, 0, 0)) {
+		t.Error("octant 0 should contain the min corner")
+	}
+	if !b.Octant(7).Contains(V(2, 2, 2)) {
+		t.Error("octant 7 should contain the max corner")
+	}
+	if !b.Octant(1).Contains(V(2, 0, 0)) {
+		t.Error("octant 1 should contain the +X corner")
+	}
+}
+
+func TestIntersectRayHit(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(1, 1, 1))
+	r := Ray{Origin: V(-1, 0.5, 0.5), Dir: V(1, 0, 0)}
+	t0, t1, hit := b.IntersectRay(r, 0, math.Inf(1))
+	if !hit {
+		t.Fatal("expected hit")
+	}
+	if math.Abs(t0-1) > eps || math.Abs(t1-2) > eps {
+		t.Fatalf("t0,t1 = %v,%v; want 1,2", t0, t1)
+	}
+}
+
+func TestIntersectRayMiss(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(1, 1, 1))
+	r := Ray{Origin: V(-1, 2, 0.5), Dir: V(1, 0, 0)}
+	if _, _, hit := b.IntersectRay(r, 0, math.Inf(1)); hit {
+		t.Fatal("expected miss")
+	}
+}
+
+func TestIntersectRayFromInside(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(1, 1, 1))
+	r := Ray{Origin: V(0.5, 0.5, 0.5), Dir: V(0, 0, 1)}
+	t0, t1, hit := b.IntersectRay(r, 0, math.Inf(1))
+	if !hit {
+		t.Fatal("expected hit from inside")
+	}
+	if t0 != 0 || math.Abs(t1-0.5) > eps {
+		t.Fatalf("t0,t1 = %v,%v; want 0,0.5", t0, t1)
+	}
+}
+
+func TestIntersectRayAxisParallel(t *testing.T) {
+	// Ray parallel to a slab, inside it: must hit; outside it: must miss.
+	b := NewAABB(V(0, 0, 0), V(1, 1, 1))
+	inside := Ray{Origin: V(0.5, 0.5, -1), Dir: V(0, 0, 1)}
+	if _, _, hit := b.IntersectRay(inside, 0, math.Inf(1)); !hit {
+		t.Error("axis-parallel ray inside slab should hit")
+	}
+	outside := Ray{Origin: V(2, 0.5, -1), Dir: V(0, 0, 1)}
+	if _, _, hit := b.IntersectRay(outside, 0, math.Inf(1)); hit {
+		t.Error("axis-parallel ray outside slab should miss")
+	}
+}
+
+func TestIntersectRayRespectsTBounds(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(1, 1, 1))
+	r := Ray{Origin: V(-1, 0.5, 0.5), Dir: V(1, 0, 0)}
+	// Box lies in t [1,2]; restricting to [0, 0.5] must miss.
+	if _, _, hit := b.IntersectRay(r, 0, 0.5); hit {
+		t.Fatal("expected miss with tight tMax")
+	}
+	// Restricting to [3, inf) must also miss (box is behind the interval).
+	if _, _, hit := b.IntersectRay(r, 3, math.Inf(1)); hit {
+		t.Fatal("expected miss with large tMin")
+	}
+}

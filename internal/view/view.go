@@ -1,0 +1,210 @@
+// Package view renders images from a completed Photon answer: the
+// "single-step ray trace" of Figure 4.9. A primary ray per pixel finds the
+// first visible surface; the colour is the radiance a photon travelling
+// from that surface toward the eye would have been binned with — looked up
+// directly in the surface's 4-D bin tree. No light transport happens at
+// view time, so any number of viewpoints render from one answer file.
+package view
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+
+	"repro/internal/bintree"
+	"repro/internal/geom"
+	"repro/internal/sampler"
+	"repro/internal/scenes"
+	"repro/internal/vecmath"
+)
+
+// Camera is a pinhole camera.
+type Camera struct {
+	Eye    vecmath.Vec3
+	LookAt vecmath.Vec3
+	Up     vecmath.Vec3
+	// FovY is the vertical field of view in degrees.
+	FovY float64
+	// Width and Height are the image dimensions in pixels.
+	Width, Height int
+}
+
+// Validate checks the camera parameters.
+func (c *Camera) Validate() error {
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("view: image dimensions %dx%d invalid", c.Width, c.Height)
+	}
+	if c.FovY <= 0 || c.FovY >= 180 {
+		return fmt.Errorf("view: FovY %v out of (0,180)", c.FovY)
+	}
+	if c.LookAt.Sub(c.Eye).Len() == 0 {
+		return fmt.Errorf("view: Eye and LookAt coincide")
+	}
+	return nil
+}
+
+// Options tunes rendering.
+type Options struct {
+	// Exposure scales radiance before tone mapping; 0 selects an automatic
+	// exposure from the image's mean luminance.
+	Exposure float64
+	// Gamma is the display gamma (default 2.2).
+	Gamma float64
+}
+
+// Render produces the image seen by cam from the scene's answer forest.
+// emitted is the photon count used to... (the forest's tallies are already
+// absolute power, so radiance needs no extra normalization; emitted is
+// accepted for interface stability and sanity checks).
+func Render(sc *scenes.Scene, forest *bintree.Forest, cam Camera, opts Options) (*image.RGBA, error) {
+	if err := cam.Validate(); err != nil {
+		return nil, err
+	}
+	if forest.NumPatches() != len(sc.Geom.Patches) {
+		return nil, fmt.Errorf("view: forest covers %d patches, scene has %d",
+			forest.NumPatches(), len(sc.Geom.Patches))
+	}
+	if opts.Gamma <= 0 {
+		opts.Gamma = 2.2
+	}
+
+	// Camera basis.
+	w := cam.LookAt.Sub(cam.Eye).Norm() // view direction
+	up := cam.Up
+	if up.Len() == 0 {
+		up = vecmath.V(0, 0, 1)
+	}
+	u := w.Cross(up).Norm() // right
+	if u.Len() == 0 {
+		u = vecmath.V(1, 0, 0)
+	}
+	v := u.Cross(w) // true up
+	halfH := math.Tan(cam.FovY * math.Pi / 360)
+	halfW := halfH * float64(cam.Width) / float64(cam.Height)
+
+	// First pass: raw radiance per pixel.
+	rad := make([]bintree.RGB, cam.Width*cam.Height)
+	var h geom.Hit
+	for py := 0; py < cam.Height; py++ {
+		for px := 0; px < cam.Width; px++ {
+			sx := (2*(float64(px)+0.5)/float64(cam.Width) - 1) * halfW
+			sy := (1 - 2*(float64(py)+0.5)/float64(cam.Height)) * halfH
+			dir := w.Add(u.Scale(sx)).Add(v.Scale(sy)).Norm()
+			ray := vecmath.Ray{Origin: cam.Eye, Dir: dir}
+			if !sc.Geom.Intersect(ray, &h) {
+				continue // background stays black
+			}
+			rad[py*cam.Width+px] = RadianceToward(sc, forest, &h, cam.Eye)
+		}
+	}
+
+	// Exposure.
+	exposure := opts.Exposure
+	if exposure == 0 {
+		mean := 0.0
+		n := 0
+		for _, r := range rad {
+			l := lum(r)
+			if l > 0 {
+				mean += l
+				n++
+			}
+		}
+		if n > 0 && mean > 0 {
+			exposure = 0.5 * float64(n) / mean
+		} else {
+			exposure = 1
+		}
+	}
+
+	// Second pass: Reinhard tone map + gamma.
+	img := image.NewRGBA(image.Rect(0, 0, cam.Width, cam.Height))
+	for i, r := range rad {
+		img.SetRGBA(i%cam.Width, i/cam.Width, color.RGBA{
+			R: toneChannel(r.R, exposure, opts.Gamma),
+			G: toneChannel(r.G, exposure, opts.Gamma),
+			B: toneChannel(r.B, exposure, opts.Gamma),
+			A: 255,
+		})
+	}
+	return img, nil
+}
+
+// RadianceToward evaluates the answer forest for the radiance leaving the
+// hit surface toward the eye: the core DetermineBin logic shared between
+// simulation and viewing, as the paper notes.
+func RadianceToward(sc *scenes.Scene, forest *bintree.Forest, h *geom.Hit, eye vecmath.Vec3) bintree.RGB {
+	toEye := eye.Sub(h.Point).Norm()
+	basis := h.Patch.Basis()
+	if !h.FrontFace {
+		basis = vecmath.ONB{U: basis.U, V: basis.V.Neg(), W: basis.W.Neg()}
+	}
+	lx, ly, lz := basis.ToLocal(toEye)
+	if lz <= 0 {
+		return bintree.RGB{} // grazing/behind: no stored radiance
+	}
+	r2, theta := sampler.CylindricalCoords(vecmath.V(lx, ly, lz))
+	return forest.Radiance(h.Patch.ID, bintree.Point{S: h.S, T: h.T2, R2: r2, Theta: theta},
+		h.Patch.Area())
+}
+
+func lum(r bintree.RGB) float64 { return 0.2126*r.R + 0.7152*r.G + 0.0722*r.B }
+
+func toneChannel(x, exposure, gamma float64) uint8 {
+	if x <= 0 {
+		return 0
+	}
+	v := x * exposure
+	v = v / (1 + v) // Reinhard
+	v = math.Pow(v, 1/gamma)
+	return uint8(vecmath.Clamp(v*255+0.5, 0, 255))
+}
+
+// WritePNG encodes the image to w.
+func WritePNG(w io.Writer, img image.Image) error { return png.Encode(w, img) }
+
+// RMSE returns the root-mean-square pixel difference between two images of
+// equal size, in [0,255] units — the quality metric behind the visual
+// speedup comparison (Figure 5.16: more processors in a fixed time budget
+// means more photons means less noise).
+func RMSE(a, b *image.RGBA) (float64, error) {
+	if a.Bounds() != b.Bounds() {
+		return 0, fmt.Errorf("view: image sizes differ: %v vs %v", a.Bounds(), b.Bounds())
+	}
+	var sum float64
+	var n int
+	bd := a.Bounds()
+	for y := bd.Min.Y; y < bd.Max.Y; y++ {
+		for x := bd.Min.X; x < bd.Max.X; x++ {
+			ca := a.RGBAAt(x, y)
+			cb := b.RGBAAt(x, y)
+			dr := float64(ca.R) - float64(cb.R)
+			dg := float64(ca.G) - float64(cb.G)
+			db := float64(ca.B) - float64(cb.B)
+			sum += dr*dr + dg*dg + db*db
+			n += 3
+		}
+	}
+	return math.Sqrt(sum / float64(n)), nil
+}
+
+// MeanLuminance returns the mean tone-mapped luminance of an image region,
+// for tests that compare bright and dark areas.
+func MeanLuminance(img *image.RGBA, r image.Rectangle) float64 {
+	var sum float64
+	var n int
+	for y := r.Min.Y; y < r.Max.Y; y++ {
+		for x := r.Min.X; x < r.Max.X; x++ {
+			c := img.RGBAAt(x, y)
+			sum += 0.2126*float64(c.R) + 0.7152*float64(c.G) + 0.0722*float64(c.B)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

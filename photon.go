@@ -1,0 +1,242 @@
+// Package photon is the public API of the Photon parallel hierarchical
+// global illumination system — a Go reproduction of Snell & Gustafson,
+// "Parallel Hierarchical Global Illumination" (HPDC 1997; Iowa State Ph.D.
+// dissertation, 1997).
+//
+// Photon solves the Rendering Equation by Monte Carlo simulation of light
+// transport: photons are emitted from luminaires, traced through a
+// polygonal scene, and every reflection is tallied into adaptive
+// four-dimensional histogram bins (surface position s,t × reflection
+// direction r²,θ). The resulting bin forest is a view-independent radiance
+// database: render any viewpoint afterwards with a single-bounce ray trace,
+// no recomputation.
+//
+// Three engines share the same physics:
+//
+//   - EngineSerial: the reference single-threaded tracer.
+//   - EngineShared: goroutine workers against one locked forest
+//     (the paper's shared-memory algorithm).
+//   - EngineDistributed: rank-per-goroutine message passing with a
+//     partitioned forest, Best-Fit load balancing and batched all-to-all
+//     tally exchange (the paper's MPI algorithm).
+//
+// Quick start:
+//
+//	scene, _ := photon.SceneByName("cornell-box")
+//	sol, _ := photon.Simulate(scene, photon.Config{Photons: 1e6})
+//	img, _ := photon.Render(scene, sol, photon.Camera{...})
+package photon
+
+import (
+	"fmt"
+	"image"
+	"io"
+
+	"repro/internal/answer"
+	"repro/internal/bintree"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/scenes"
+	"repro/internal/shared"
+	"repro/internal/vecmath"
+	"repro/internal/view"
+)
+
+// Vec3 is a 3-component vector (points, directions, RGB).
+type Vec3 = vecmath.Vec3
+
+// V constructs a Vec3.
+func V(x, y, z float64) Vec3 { return vecmath.V(x, y, z) }
+
+// Scene is a simulation-ready environment: geometry plus materials.
+type Scene = scenes.Scene
+
+// Camera is the pinhole camera used for rendering answers.
+type Camera = view.Camera
+
+// RenderOptions tunes tone mapping.
+type RenderOptions = view.Options
+
+// Engine selects a parallelization strategy.
+type Engine int
+
+// Available engines.
+const (
+	EngineSerial Engine = iota
+	EngineShared
+	EngineDistributed
+)
+
+// String implements fmt.Stringer.
+func (e Engine) String() string {
+	switch e {
+	case EngineSerial:
+		return "serial"
+	case EngineShared:
+		return "shared"
+	case EngineDistributed:
+		return "distributed"
+	}
+	return "unknown"
+}
+
+// Config parameterizes a simulation.
+type Config struct {
+	// Photons is the number of photons to emit (required).
+	Photons int64
+	// Seed selects the deterministic random stream (default 1).
+	Seed int64
+	// Engine selects serial, shared-memory or distributed execution.
+	Engine Engine
+	// Workers is the goroutine count for EngineShared and the rank count
+	// for EngineDistributed (default 4 for both).
+	Workers int
+	// BatchSize is the photons per rank between all-to-all exchanges
+	// (EngineDistributed only; default 500, the paper's starting size).
+	BatchSize int
+	// SplitSigma overrides the 3σ bin-split criterion (0 = default 3).
+	SplitSigma float64
+}
+
+// Stats are the simulation counters.
+type Stats = core.Stats
+
+// Solution is a completed, viewable, durable global-illumination answer.
+type Solution struct {
+	inner *answer.Solution
+	stats Stats
+}
+
+// Stats returns the simulation counters.
+func (s *Solution) Stats() Stats { return s.stats }
+
+// SceneName returns the scene the solution was computed for.
+func (s *Solution) SceneName() string { return s.inner.SceneName }
+
+// EmittedPhotons returns the emission count.
+func (s *Solution) EmittedPhotons() int64 { return s.inner.EmittedPhotons }
+
+// Leaves returns the number of view-dependent bins in the answer.
+func (s *Solution) Leaves() int { return s.inner.Forest.TotalLeaves() }
+
+// MemoryBytes estimates the answer's storage footprint.
+func (s *Solution) MemoryBytes() int64 { return s.inner.Forest.MemoryBytes() }
+
+// Save writes the solution to w in the answer-file format.
+func (s *Solution) Save(w io.Writer) error { return s.inner.Save(w) }
+
+// SaveFile writes the solution to path.
+func (s *Solution) SaveFile(path string) error { return s.inner.SaveFile(path) }
+
+// SolutionFromResult wraps an engine-level result (from the internal core,
+// shared or dist packages) in the public Solution type. In-module tools and
+// examples that drive the engines directly use it to reach the viewer.
+func SolutionFromResult(res *core.Result) *Solution {
+	return &Solution{inner: answer.FromResult(res), stats: res.Stats}
+}
+
+// Load reads a solution written by Save.
+func Load(r io.Reader) (*Solution, error) {
+	inner, err := answer.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{inner: inner}, nil
+}
+
+// LoadFile reads a solution from path.
+func LoadFile(path string) (*Solution, error) {
+	inner, err := answer.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{inner: inner}, nil
+}
+
+// Scene rebuilds the geometry a loaded solution was computed for.
+func (s *Solution) Scene() (*Scene, error) { return s.inner.Scene() }
+
+// SceneByName constructs one of the built-in scenes: "quickstart",
+// "cornell-box", "harpsichord-room" or "computer-lab".
+func SceneByName(name string) (*Scene, error) {
+	ctor, ok := scenes.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("photon: unknown scene %q (have %v)", name, scenes.Names())
+	}
+	return ctor()
+}
+
+// SceneNames lists the built-in scene names.
+func SceneNames() []string { return scenes.Names() }
+
+// Simulate runs the global illumination simulation and returns the answer.
+func Simulate(scene *Scene, cfg Config) (*Solution, error) {
+	if cfg.Photons <= 0 {
+		return nil, fmt.Errorf("photon: Config.Photons must be positive")
+	}
+	coreCfg := core.DefaultConfig(cfg.Photons)
+	if cfg.Seed != 0 {
+		coreCfg.Seed = cfg.Seed
+	}
+	if cfg.SplitSigma > 0 {
+		coreCfg.Bin.SplitSigma = cfg.SplitSigma
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+
+	var res *core.Result
+	var err error
+	switch cfg.Engine {
+	case EngineSerial:
+		res, err = core.Run(scene, coreCfg)
+	case EngineShared:
+		res, err = shared.Run(scene, shared.Config{Core: coreCfg, Workers: workers})
+	case EngineDistributed:
+		dcfg := dist.DefaultConfig(cfg.Photons, workers)
+		dcfg.Core = coreCfg
+		if cfg.BatchSize > 0 {
+			dcfg.BatchSize = cfg.BatchSize
+		}
+		var dres *dist.Result
+		dres, err = dist.Run(scene, dcfg)
+		if dres != nil {
+			res = dres.Result
+		}
+	default:
+		return nil, fmt.Errorf("photon: unknown engine %v", cfg.Engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{inner: answer.FromResult(res), stats: res.Stats}, nil
+}
+
+// Render produces the image seen by cam from the solution. The scene must
+// be the one the solution was computed for (use Solution.Scene after
+// loading from disk).
+func Render(scene *Scene, sol *Solution, cam Camera) (*image.RGBA, error) {
+	return RenderOpts(scene, sol, cam, RenderOptions{})
+}
+
+// RenderOpts is Render with explicit tone-mapping options.
+func RenderOpts(scene *Scene, sol *Solution, cam Camera, opts RenderOptions) (*image.RGBA, error) {
+	return view.Render(scene, sol.inner.Forest, cam, opts)
+}
+
+// WritePNG encodes an image as PNG.
+func WritePNG(w io.Writer, img image.Image) error { return view.WritePNG(w, img) }
+
+// Radiance queries the solution directly: the outgoing radiance of
+// defining polygon patch at bilinear position (s,t) in direction (r²,θ) of
+// the paper's cylindrical parameterization.
+func (s *Solution) Radiance(scene *Scene, patch int, sParam, tParam, r2, theta float64) (Vec3, error) {
+	if patch < 0 || patch >= len(scene.Geom.Patches) {
+		return Vec3{}, fmt.Errorf("photon: patch %d out of range", patch)
+	}
+	rgb := s.inner.Forest.Radiance(patch,
+		bintree.Point{S: sParam, T: tParam, R2: r2, Theta: theta},
+		scene.Geom.Patches[patch].Area())
+	return V(rgb.R, rgb.G, rgb.B), nil
+}
