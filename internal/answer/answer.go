@@ -125,9 +125,11 @@ func (s *Solution) Scene() (*scenes.Scene, error) {
 	if err != nil {
 		return nil, err
 	}
-	if sc.DefiningPolygons() != s.Forest.NumTrees() {
-		return nil, fmt.Errorf("answer: scene %q has %d polygons but forest has %d trees",
-			s.SceneName, sc.DefiningPolygons(), s.Forest.NumTrees())
+	// Compare against NumPatches, not NumTrees: the distributed engine's
+	// sectioned forests carry cells² trees per defining polygon.
+	if sc.DefiningPolygons() != s.Forest.NumPatches() {
+		return nil, fmt.Errorf("answer: scene %q has %d polygons but forest covers %d",
+			s.SceneName, sc.DefiningPolygons(), s.Forest.NumPatches())
 	}
 	return sc, nil
 }

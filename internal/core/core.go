@@ -138,11 +138,21 @@ func (s *Simulator) TracePhoton(stream *rng.Source, forest *bintree.Forest, stat
 	})
 }
 
-// TracePhotonFunc is TracePhoton with tally delivery abstracted: the
-// distributed engine queues tallies for the owning rank instead of applying
-// them locally (Figure 5.3's EnQueue path).
-func (s *Simulator) TracePhotonFunc(stream *rng.Source, stats *Stats, deliver func(Tally)) {
-	// GeneratePhoton + UpdateBinCount for the emission itself.
+// Flight is a photon's in-flight state between surface interactions. The
+// geometry-distributed engine serializes Flights between space owners;
+// the other engines keep them on the stack.
+type Flight struct {
+	Ray          vecmath.Ray
+	Power        vecmath.Vec3
+	Polarization float64
+	// Bounces counts the surface interactions so far; the engines cap it
+	// at Config.MaxBounces.
+	Bounces int
+}
+
+// EmitPhoton generates one photon (GeneratePhoton + UpdateBinCount for the
+// emission itself) and returns the flight ready for tracing.
+func (s *Simulator) EmitPhoton(stream *rng.Source, stats *Stats, deliver func(Tally)) Flight {
 	ph, patchIdx, es, et, er2, eth := s.emitter.Generate(stream)
 	stats.PhotonsEmitted++
 	deliver(Tally{
@@ -150,50 +160,69 @@ func (s *Simulator) TracePhotonFunc(stream *rng.Source, stats *Stats, deliver fu
 		Point: bintree.Point{S: es, T: et, R2: er2, Theta: eth},
 		Power: bintree.RGB{R: ph.Power.X, G: ph.Power.Y, B: ph.Power.Z},
 	})
+	return Flight{Ray: ph.Ray, Power: ph.Power, Polarization: ph.Polarization}
+}
 
+// Interact performs one surface interaction at hit h — Reflect plus
+// DetermineBin/UpdateBinCount — and advances the flight past it. It
+// reports whether the flight survives; on absorption stats are final.
+// Every engine funnels through this one function so the physics cannot
+// drift between serial, shared, replicated and geometry-distributed runs.
+func (s *Simulator) Interact(stream *rng.Source, f *Flight, h *geom.Hit, stats *Stats, deliver func(Tally)) bool {
+	stats.TotalPathLength++
+
+	// Reflect: material decides absorption and outgoing direction.
+	mat := s.scene.Material(h.Patch.ID)
+	var basis vecmath.ONB
+	if h.FrontFace {
+		basis = h.Patch.Basis()
+	} else {
+		// Back face: flip the frame so W matches the shading normal.
+		fb := h.Patch.Basis()
+		basis = vecmath.ONB{U: fb.U, V: fb.V.Neg(), W: fb.W.Neg()}
+	}
+	it := mat.Scatter(stream, f.Ray.Dir, h.Normal, basis, f.Polarization)
+	if it.Absorbed {
+		stats.Absorptions++
+		return false
+	}
+
+	// DetermineBin: position (s,t) plus the *outgoing* direction in the
+	// patch's local cylindrical coordinates (Figure 4.5), then
+	// UpdateBinCount via deliver.
+	lx, ly, lz := basis.ToLocal(it.Dir)
+	r2, theta := sampler.CylindricalCoords(vecmath.V(lx, ly, lz))
+	newPower := f.Power.Mul(it.Weight)
+	deliver(Tally{
+		Patch: int32(h.Patch.ID),
+		Point: bintree.Point{S: h.S, T: h.T2, R2: r2, Theta: theta},
+		Power: bintree.RGB{R: newPower.X, G: newPower.Y, B: newPower.Z},
+	})
+	stats.Reflections++
+
+	// Continue the flight.
+	f.Ray = vecmath.Ray{Origin: h.Point.Add(it.Dir.Scale(geom.Eps)), Dir: it.Dir}
+	f.Power = newPower
+	f.Polarization = it.Polarization
+	f.Bounces++
+	return true
+}
+
+// TracePhotonFunc is TracePhoton with tally delivery abstracted: the
+// distributed engine queues tallies for the owning rank instead of applying
+// them locally (Figure 5.3's EnQueue path).
+func (s *Simulator) TracePhotonFunc(stream *rng.Source, stats *Stats, deliver func(Tally)) {
+	f := s.EmitPhoton(stream, stats, deliver)
 	var h geom.Hit
-	for bounce := 0; bounce < s.cfg.MaxBounces; bounce++ {
+	for f.Bounces < s.cfg.MaxBounces {
 		// DetermineIntersection: octree ordered traversal.
-		if !s.scene.Geom.Intersect(ph.Ray, &h) {
+		if !s.scene.Geom.Intersect(f.Ray, &h) {
 			stats.Escapes++
 			return
 		}
-		stats.TotalPathLength++
-
-		// Reflect: material decides absorption and outgoing direction.
-		mat := s.scene.Material(h.Patch.ID)
-		basis := vecmath.ONB{W: h.Normal}
-		if h.FrontFace {
-			basis = h.Patch.Basis()
-		} else {
-			// Back face: flip the frame so W matches the shading normal.
-			fb := h.Patch.Basis()
-			basis = vecmath.ONB{U: fb.U, V: fb.V.Neg(), W: fb.W.Neg()}
-		}
-		it := mat.Scatter(stream, ph.Ray.Dir, h.Normal, basis, ph.Polarization)
-		if it.Absorbed {
-			stats.Absorptions++
+		if !s.Interact(stream, &f, &h, stats, deliver) {
 			return
 		}
-
-		// DetermineBin: position (s,t) plus the *outgoing* direction in the
-		// patch's local cylindrical coordinates (Figure 4.5), then
-		// UpdateBinCount via deliver.
-		lx, ly, lz := basis.ToLocal(it.Dir)
-		r2, theta := sampler.CylindricalCoords(vecmath.V(lx, ly, lz))
-		newPower := ph.Power.Mul(it.Weight)
-		deliver(Tally{
-			Patch: int32(h.Patch.ID),
-			Point: bintree.Point{S: h.S, T: h.T2, R2: r2, Theta: theta},
-			Power: bintree.RGB{R: newPower.X, G: newPower.Y, B: newPower.Z},
-		})
-		stats.Reflections++
-
-		// Continue the flight.
-		ph.Ray = vecmath.Ray{Origin: h.Point.Add(it.Dir.Scale(geom.Eps)), Dir: it.Dir}
-		ph.Power = newPower
-		ph.Polarization = it.Polarization
-		ph.Bounces++
 	}
 	// Path length cap reached: count as absorbed.
 	stats.Absorptions++

@@ -1,0 +1,257 @@
+// Package dist implements the distributed-memory Photon engines — the
+// paper's central contribution (chapter 5) plus the dissertation's
+// chapter-6 "Massive Parallelism" variant. Ranks are in-process
+// message-passing workers on the mpi substrate, standing in for MPI
+// processes exactly as the paper's C code stands on MPI.
+//
+// Two engines share the physics of internal/core:
+//
+//   - Run (replicated geometry, Figure 5.3): every rank holds the whole
+//     scene; the bin forest is partitioned into sections whose ownership a
+//     short redundant pre-phase plus Best-Fit bin packing assigns to ranks.
+//     Each rank traces its photon share and exchanges batched tallies with
+//     the owning ranks via all-to-all every BatchSize photons.
+//
+//   - GeoRun (distributed geometry, chapter 6): space is partitioned into
+//     octree root regions owned by ranks, and photon *flights* are
+//     forwarded between space owners instead of tallies between bin
+//     owners. No replicated-forest exchange takes place; Result.Forwards
+//     counts the migrations.
+//
+// Both engines are deterministic for a fixed Core.Seed and rank count: all
+// randomness flows through leapfrogged (Run) or jump-ahead per-photon
+// (GeoRun) substreams of the single global sequence, and every collective
+// applies incoming data in rank order.
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/bintree"
+	"repro/internal/core"
+	"repro/internal/loadbalance"
+	"repro/internal/mpi"
+)
+
+// Balance selects the forest-ownership strategy of the load-balancing
+// pre-phase (section 5, "Load Balancing"; Table 5.2 compares the two).
+type Balance int
+
+const (
+	// BalanceBinPack is greedy Best-Fit bin packing seeded by the
+	// pre-phase photon counts — the paper's choice, and the default.
+	BalanceBinPack Balance = iota
+	// BalanceNaive assigns contiguous section blocks regardless of load,
+	// the strawman whose "disastrous results" motivate bin packing.
+	BalanceNaive
+)
+
+// String implements fmt.Stringer.
+func (b Balance) String() string {
+	switch b {
+	case BalanceBinPack:
+		return "bin-pack"
+	case BalanceNaive:
+		return "naive"
+	}
+	return "unknown"
+}
+
+// Message tags. Each collective gets its own tag space; AllToAll receives
+// per source, so tags never need to vary per round.
+const (
+	tagTally  = 100 // replicated engine: batched tally exchange
+	tagGather = 101 // both engines: owned-section gather to rank 0
+	tagFlight = 102 // geo engine: photon-flight forwarding
+	tagGeoTal = 103 // geo engine: off-owner tally routing
+	tagWork   = 110 // geo engine: termination AllReduce (uses +1 too)
+)
+
+// Config parameterizes a distributed simulation. The zero value of Balance
+// is BalanceBinPack, so only deviations need setting.
+type Config struct {
+	// Core carries the physics parameters (photons, seed, split rule).
+	Core core.Config
+	// Ranks is the number of message-passing workers.
+	Ranks int
+	// BatchSize is the photons each rank traces between tally exchanges
+	// (Run) or the emissions per drain round (GeoRun). The paper starts
+	// at 500.
+	BatchSize int
+	// Balance selects the forest-ownership strategy (Run only).
+	Balance Balance
+	// Sections is the per-axis section count per defining polygon; the
+	// ownership unit is one section tree, so cells=4 gives 16 units per
+	// polygon for the packer to spread (Run only; GeoRun owns whole
+	// polygons by region).
+	Sections int
+	// PrePhotons is the redundant pre-phase sample size used to estimate
+	// per-section load before ownership is assigned (Run only).
+	PrePhotons int64
+}
+
+// DefaultConfig returns the replicated-geometry engine defaults: the
+// paper's initial 500-photon batches, 4×4 sections per polygon, and a
+// pre-phase of 5% of the budget clamped to [1000, 20000].
+func DefaultConfig(photons int64, ranks int) Config {
+	return Config{
+		Core:       core.DefaultConfig(photons),
+		Ranks:      ranks,
+		BatchSize:  500,
+		Balance:    BalanceBinPack,
+		Sections:   4,
+		PrePhotons: defaultPrePhase(photons),
+	}
+}
+
+// DefaultGeoConfig returns the geometry-distributed engine defaults. The
+// forest is unsectioned (polygons are owned whole, by the region of their
+// centroid) and batches are emission rounds, not exchange intervals.
+func DefaultGeoConfig(photons int64, ranks int) Config {
+	cfg := DefaultConfig(photons, ranks)
+	cfg.Sections = 1
+	cfg.BatchSize = 2000
+	return cfg
+}
+
+func defaultPrePhase(photons int64) int64 {
+	p := photons / 20
+	if p < 1000 {
+		p = 1000
+	}
+	if p > 20000 {
+		p = 20000
+	}
+	return p
+}
+
+func (c *Config) normalize() error {
+	if c.Core.Photons <= 0 {
+		return fmt.Errorf("dist: Core.Photons must be positive, got %d", c.Core.Photons)
+	}
+	if c.Ranks <= 0 {
+		return fmt.Errorf("dist: Ranks must be positive, got %d", c.Ranks)
+	}
+	if c.Balance != BalanceBinPack && c.Balance != BalanceNaive {
+		return fmt.Errorf("dist: unknown balance strategy %d", c.Balance)
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 500
+	}
+	if c.Sections <= 0 {
+		c.Sections = 1
+	}
+	if c.PrePhotons <= 0 {
+		c.PrePhotons = defaultPrePhase(c.Core.Photons)
+	}
+	return nil
+}
+
+// RankStats records one rank's share of the work — the per-processor rows
+// of Table 5.2.
+type RankStats struct {
+	// Rank is the processor index.
+	Rank int
+	// PhotonsTraced counts photons this rank emitted and traced.
+	PhotonsTraced int64
+	// TalliesApplied counts bin updates applied to sections this rank
+	// owns (locally produced and received). This is the load statistic
+	// the balancer equalizes.
+	TalliesApplied int64
+	// TalliesForwarded counts bin updates produced here but owned
+	// elsewhere, queued for exchange.
+	TalliesForwarded int64
+	// Batches counts exchange rounds this rank participated in.
+	Batches int
+}
+
+// Result is a completed distributed simulation. It embeds the assembled
+// core result (scene, forest, stats) and adds the distribution telemetry.
+type Result struct {
+	*core.Result
+	// PerRank has one entry per rank in rank order.
+	PerRank []RankStats
+	// Traffic is the substrate's message/byte accounting for the run.
+	Traffic mpi.Traffic
+	// Owners maps each ownership unit to its rank: forest sections for
+	// Run, defining polygons for GeoRun.
+	Owners []int
+	// Balance is the pre-phase assignment Run packed (nil for GeoRun,
+	// which owns by geometry, not by load).
+	Balance *loadbalance.Assignment
+	// Forwards counts photon-flight migrations between space owners
+	// (GeoRun only; always 0 for Run).
+	Forwards int64
+}
+
+// ownedSection carries one section tree from its owning rank to rank 0
+// during final assembly.
+type ownedSection struct {
+	Unit int
+	Tree *bintree.Tree
+}
+
+// sectionBundle is the gather payload: every section a rank owns.
+type sectionBundle struct {
+	Sections []ownedSection
+}
+
+// ByteSize reports the realistic wire size of the bundled trees so the
+// gather shows up honestly in the traffic statistics.
+func (b sectionBundle) ByteSize() int {
+	n := 16
+	for _, s := range b.Sections {
+		n += 8 + int(s.Tree.MemoryBytes())
+	}
+	return n
+}
+
+// gatherForest assembles the final answer on rank 0: every rank sends the
+// trees of the units it owns; rank 0 installs them into a fresh forest.
+// Ownership is disjoint, so assembly is exact — no approximate merging of
+// divergent adaptive binnings, which is precisely what ownership exists to
+// avoid. Returns the forest on rank 0, nil elsewhere.
+func gatherForest(c *mpi.Comm, local *bintree.Forest, owners []int, nPatches, cells int, binCfg bintree.Config) (*bintree.Forest, error) {
+	me := c.Rank()
+	if me != 0 {
+		var bundle sectionBundle
+		for unit, owner := range owners {
+			if owner == me {
+				bundle.Sections = append(bundle.Sections, ownedSection{Unit: unit, Tree: local.Tree(unit)})
+			}
+		}
+		c.Send(0, tagGather, bundle)
+		return nil, nil
+	}
+	final := bintree.NewForestSectioned(nPatches, cells, binCfg)
+	for unit, owner := range owners {
+		if owner == 0 {
+			final.ReplaceTree(unit, local.Tree(unit))
+		}
+	}
+	for i := 1; i < c.Size(); i++ {
+		p, _, ok := c.Recv(mpi.AnySource, tagGather)
+		if !ok {
+			return nil, fmt.Errorf("dist: world closed during gather")
+		}
+		for _, s := range p.(sectionBundle).Sections {
+			final.ReplaceTree(s.Unit, s.Tree)
+		}
+	}
+	return final, nil
+}
+
+// shares splits photons across ranks, remainder to the low ranks — the
+// same convention as the shared-memory engine.
+func shares(photons int64, ranks int) []int64 {
+	per := photons / int64(ranks)
+	rem := photons % int64(ranks)
+	out := make([]int64, ranks)
+	for r := range out {
+		out[r] = per
+		if int64(r) < rem {
+			out[r]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,269 @@
+package dist
+
+// The geometry-distributed engine — the dissertation's chapter-6 "Massive
+// Parallelism" design. Space is partitioned into the eight octree root
+// regions; each region (and every defining polygon whose centroid lies in
+// it) is owned by one rank. A photon is always traced by the rank owning
+// the space it is interacting with: when a flight's next intersection falls
+// in foreign space, the whole flight (ray, power, polarization, bounce
+// count, random-stream position) is forwarded to the owner instead of any
+// tallies being exchanged against a replicated forest. Tallies are applied
+// by the polygon's owner, which for all but region-straddling polygons is
+// the rank already tracing the hit.
+//
+// Every photon carries its own private random substream, so its physics is
+// one deterministic function of (seed, photon index) no matter how many
+// ranks trade it around — this is what makes the engine's statistics agree
+// with the replicated engine's at any rank count.
+
+import (
+	"repro/internal/bintree"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/mpi"
+	"repro/internal/rng"
+	"repro/internal/scenes"
+	"repro/internal/vecmath"
+)
+
+// geoFlight is a photon in transit between space owners.
+type geoFlight struct {
+	core.Flight
+	// RngState is the photon's private substream position, resumed by
+	// the receiving rank.
+	RngState uint64
+}
+
+// photonState places photon idx's private substream on the drand48 cycle
+// via a splitmix-style hash of (seed, idx). Hashing — rather than a fixed
+// jump-ahead block — matters: the leapfrogged emission streams start at
+// every multiple of 2^48/ranks, so any structured offset coincides with
+// one of them for some rank count (2^47 is exactly rank p/2's start for
+// even p). Hashed placement cannot align systematically; residual
+// overlaps are birthday-rare and a few dozen draws long.
+func photonState(seed, idx int64) uint64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(idx)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// GeoRun executes the geometry-distributed simulation.
+func GeoRun(scene *scenes.Scene, cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	sim, err := core.NewSimulator(scene, cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	coreCfg := sim.Config() // normalized by NewSimulator
+	nPatches := len(scene.Geom.Patches)
+
+	// Polygon ownership: the rank owning the region of the centroid.
+	// Ranks beyond the eight root regions own no space; they still emit
+	// and immediately forward, which keeps small scenes correct (if
+	// wasteful) at any rank count.
+	patchOwner := make([]int, nPatches)
+	for i := range scene.Geom.Patches {
+		patchOwner[i] = regionRank(scene, scene.Geom.Patches[i].Centroid(), cfg.Ranks)
+	}
+
+	share := shares(cfg.Core.Photons, cfg.Ranks)
+	starts := make([]int64, cfg.Ranks)
+	for r := 1; r < cfg.Ranks; r++ {
+		starts[r] = starts[r-1] + share[r-1]
+	}
+	streams := rng.Leapfrog(rng.New(coreCfg.Seed), cfg.Ranks)
+
+	perRank := make([]RankStats, cfg.Ranks)
+	statsPerRank := make([]core.Stats, cfg.Ranks)
+	forwardsPerRank := make([]int64, cfg.Ranks)
+	var finalForest *bintree.Forest
+
+	world, err := mpi.Run(cfg.Ranks, func(c *mpi.Comm) error {
+		me := c.Rank()
+		g := &geoRank{
+			comm: c, scene: scene, sim: sim,
+			seed:       coreCfg.Seed,
+			batch:      int64(cfg.BatchSize),
+			patchOwner: patchOwner,
+			forest:     bintree.NewForest(nPatches, coreCfg.Bin),
+			stream:     streams[me],
+			rs:         RankStats{Rank: me},
+		}
+		final, err := g.run(share[me], starts[me])
+		if err != nil {
+			return err
+		}
+		perRank[me] = g.rs
+		statsPerRank[me] = g.st
+		forwardsPerRank[me] = g.forwards
+		if me == 0 {
+			finalForest = final
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var total core.Stats
+	var forwards int64
+	for r := 0; r < cfg.Ranks; r++ {
+		total.Add(statsPerRank[r])
+		forwards += forwardsPerRank[r]
+	}
+	return &Result{
+		Result: &core.Result{
+			Scene:          scene,
+			Forest:         finalForest,
+			Stats:          total,
+			EmittedPhotons: total.PhotonsEmitted,
+		},
+		PerRank:  perRank,
+		Traffic:  world.TrafficStats(),
+		Owners:   patchOwner,
+		Forwards: forwards,
+	}, nil
+}
+
+// regionRank maps a world point to the rank owning its octree root region.
+func regionRank(scene *scenes.Scene, p vecmath.Vec3, ranks int) int {
+	reg := scene.Geom.Octree().RegionOf(p)
+	if reg < 0 {
+		reg = 0
+	}
+	return reg % ranks
+}
+
+// geoRank is one rank's state for the duration of a GeoRun.
+type geoRank struct {
+	comm       *mpi.Comm
+	scene      *scenes.Scene
+	sim        *core.Simulator
+	seed       int64
+	batch      int64
+	patchOwner []int
+	forest     *bintree.Forest
+	stream     *rng.Source // emission draws (leapfrogged per rank)
+
+	st       core.Stats
+	rs       RankStats
+	forwards int64
+	splits   int64
+}
+
+func (g *geoRank) me() int { return g.comm.Rank() }
+
+func (g *geoRank) apply(t core.Tally) {
+	if g.forest.Add(int(t.Patch), t.Point, t.Power) {
+		g.splits++
+	}
+	g.rs.TalliesApplied++
+}
+
+// route delivers a tally to the hit polygon's owner: locally for owned
+// polygons, via the round's tally exchange for region-straddlers.
+func (g *geoRank) route(t core.Tally, tallyOut [][]core.Tally) {
+	if owner := g.patchOwner[t.Patch]; owner == g.me() {
+		g.apply(t)
+	} else {
+		tallyOut[owner] = append(tallyOut[owner], t)
+		g.rs.TalliesForwarded++
+	}
+}
+
+// trace advances one flight until it terminates in this rank's space or
+// crosses into foreign space (then it is queued for forwarding). The
+// physics is core's own — Intersect then Simulator.Interact — with a
+// region-ownership check between intersection and interaction.
+func (g *geoRank) trace(f geoFlight, photonsOut [][]geoFlight, tallyOut [][]core.Tally) {
+	stream := rng.NewFromState(f.RngState)
+	deliver := func(t core.Tally) { g.route(t, tallyOut) }
+	var h geom.Hit
+	for f.Bounces < g.sim.Config().MaxBounces {
+		if !g.scene.Geom.Intersect(f.Ray, &h) {
+			g.st.Escapes++
+			return
+		}
+		if owner := regionRank(g.scene, h.Point, g.comm.Size()); owner != g.me() {
+			f.RngState = stream.State()
+			photonsOut[owner] = append(photonsOut[owner], f)
+			g.forwards++
+			return
+		}
+		if !g.sim.Interact(stream, &f.Flight, &h, &g.st, deliver) {
+			return
+		}
+	}
+	// Path length cap reached: count as absorbed.
+	g.st.Absorptions++
+}
+
+// emit generates one photon: the emission tally is routed to the emitting
+// polygon's owner, and the flight begins here (forwarding immediately if
+// the first hit is foreign). globalIdx selects the photon's private
+// substream.
+func (g *geoRank) emit(globalIdx int64, photonsOut [][]geoFlight, tallyOut [][]core.Tally) {
+	fl := g.sim.EmitPhoton(g.stream, &g.st, func(t core.Tally) { g.route(t, tallyOut) })
+	g.rs.PhotonsTraced++
+	g.trace(geoFlight{
+		Flight:   fl,
+		RngState: photonState(g.seed, globalIdx),
+	}, photonsOut, tallyOut)
+}
+
+// run is the rank's round loop: drain forwarded flights, emit a batch,
+// exchange flights and tallies, and stop when a global reduction reports
+// no photon anywhere is still airborne or unemitted.
+func (g *geoRank) run(myShare, startIdx int64) (*bintree.Forest, error) {
+	c := g.comm
+	remaining := myShare
+	idx := startIdx
+	var pending []geoFlight
+	for {
+		photonsOut := make([][]geoFlight, c.Size())
+		tallyOut := make([][]core.Tally, c.Size())
+		for _, f := range pending {
+			g.trace(f, photonsOut, tallyOut)
+		}
+		pending = nil
+
+		n := min(g.batch, remaining)
+		for i := int64(0); i < n; i++ {
+			g.emit(idx, photonsOut, tallyOut)
+			idx++
+		}
+		remaining -= n
+
+		pin, err := mpi.AllToAll(c, tagFlight, photonsOut)
+		if err != nil {
+			return nil, err
+		}
+		tin, err := mpi.AllToAll(c, tagGeoTal, tallyOut)
+		if err != nil {
+			return nil, err
+		}
+		for src := 0; src < c.Size(); src++ {
+			if src == g.me() {
+				continue
+			}
+			for _, t := range tin[src] {
+				g.apply(t)
+			}
+			pending = append(pending, pin[src]...)
+		}
+		g.rs.Batches++
+
+		total, err := mpi.AllReduceSum(c, tagWork, float64(remaining)+float64(len(pending)))
+		if err != nil {
+			return nil, err
+		}
+		if total == 0 {
+			break
+		}
+	}
+	g.st.BinSplits = g.splits
+	return gatherForest(c, g.forest, g.patchOwner, len(g.scene.Geom.Patches), 1, g.sim.Config().Bin)
+}

@@ -1,0 +1,173 @@
+package dist
+
+// The replicated-geometry engine (Figure 5.3): every rank holds the whole
+// scene and a full-shape (mostly empty) sectioned forest, but owns only the
+// sections the load balancer assigned to it. Ranks trace disjoint photon
+// shares drawn from leapfrogged substreams; tallies destined for foreign
+// sections are queued and exchanged all-to-all at the end of every batch,
+// so each section's adaptive binning evolves on exactly one rank and the
+// final gather is exact.
+
+import (
+	"repro/internal/bintree"
+	"repro/internal/core"
+	"repro/internal/loadbalance"
+	"repro/internal/mpi"
+	"repro/internal/rng"
+	"repro/internal/scenes"
+)
+
+// Run executes the replicated-geometry distributed simulation.
+func Run(scene *scenes.Scene, cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	sim, err := core.NewSimulator(scene, cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	binCfg := sim.Config().Bin
+	nPatches := len(scene.Geom.Patches)
+
+	// Load-balancing pre-phase: sample per-section photon loads with a
+	// short redundant simulation whose tallies are discarded. Every rank
+	// would compute identical counts from the identical stream, so the
+	// driver computes them once on behalf of all ranks.
+	weights := prePhaseWeights(sim, nPatches, cfg, binCfg)
+	var asn *loadbalance.Assignment
+	if cfg.Balance == BalanceNaive {
+		asn, err = loadbalance.Naive(weights, cfg.Ranks)
+	} else {
+		asn, err = loadbalance.BestFit(weights, cfg.Ranks)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	share := shares(cfg.Core.Photons, cfg.Ranks)
+	// Every rank participates in the same number of exchange rounds (the
+	// collective must stay aligned); ranks that run out of photons trace
+	// zero in the tail rounds.
+	maxShare := share[0]
+	rounds := int((maxShare + int64(cfg.BatchSize) - 1) / int64(cfg.BatchSize))
+	if rounds == 0 {
+		rounds = 1
+	}
+
+	// Leapfrog the global stream into disjoint per-rank substreams: the
+	// paper's "individual periods of 2^48/P" with no duplicated work.
+	streams := rng.Leapfrog(rng.New(cfg.Core.Seed), cfg.Ranks)
+
+	perRank := make([]RankStats, cfg.Ranks)
+	statsPerRank := make([]core.Stats, cfg.Ranks)
+	var finalForest *bintree.Forest
+
+	world, err := mpi.Run(cfg.Ranks, func(c *mpi.Comm) error {
+		me := c.Rank()
+		forest, rs, st, err := runRank(c, sim, cfg, asn.Owner, streams[me], share[me], rounds, binCfg)
+		if err != nil {
+			return err
+		}
+		perRank[me] = rs
+		statsPerRank[me] = st
+		if me == 0 {
+			finalForest = forest
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var total core.Stats
+	for _, st := range statsPerRank {
+		total.Add(st)
+	}
+	return &Result{
+		Result: &core.Result{
+			Scene:          scene,
+			Forest:         finalForest,
+			Stats:          total,
+			EmittedPhotons: total.PhotonsEmitted,
+		},
+		PerRank: perRank,
+		Traffic: world.TrafficStats(),
+		Owners:  asn.Owner,
+		Balance: asn,
+	}, nil
+}
+
+// prePhaseWeights traces cfg.PrePhotons photons into a scratch forest and
+// returns the per-section photon counts the packer will balance. The
+// scratch tallies are discarded: the pre-phase estimates load only, so the
+// main run still emits exactly Core.Photons.
+func prePhaseWeights(sim *core.Simulator, nPatches int, cfg Config, binCfg bintree.Config) []int64 {
+	scratch := bintree.NewForestSectioned(nPatches, cfg.Sections, binCfg)
+	stream := rng.New(cfg.Core.Seed)
+	var st core.Stats
+	for i := int64(0); i < cfg.PrePhotons; i++ {
+		sim.TracePhoton(stream, scratch, &st)
+	}
+	return scratch.PhotonCounts()
+}
+
+// runRank is one rank's whole life: trace the photon share in batches,
+// exchange tallies after every batch, then take part in the final gather.
+func runRank(c *mpi.Comm, sim *core.Simulator, cfg Config, owners []int,
+	stream *rng.Source, myShare int64, rounds int, binCfg bintree.Config,
+) (*bintree.Forest, RankStats, core.Stats, error) {
+	me := c.Rank()
+	nPatches := sim.Scene().Geom.Patches
+	forest := bintree.NewForestSectioned(len(nPatches), cfg.Sections, binCfg)
+	rs := RankStats{Rank: me}
+	var st core.Stats
+	var splits int64
+
+	apply := func(t core.Tally) {
+		if forest.Add(int(t.Patch), t.Point, t.Power) {
+			splits++
+		}
+		rs.TalliesApplied++
+	}
+
+	outbox := make([][]core.Tally, c.Size())
+	traced := int64(0)
+	for round := 0; round < rounds; round++ {
+		n := min(int64(cfg.BatchSize), myShare-traced)
+		for i := int64(0); i < n; i++ {
+			sim.TracePhotonFunc(stream, &st, func(t core.Tally) {
+				unit := forest.UnitOf(int(t.Patch), t.Point)
+				if owner := owners[unit]; owner == me {
+					apply(t)
+				} else {
+					outbox[owner] = append(outbox[owner], t)
+					rs.TalliesForwarded++
+				}
+			})
+		}
+		traced += n
+
+		// Batched all-to-all tally exchange (Figure 5.3). Incoming
+		// slices are applied in rank order, so the forest every section
+		// owner grows is independent of scheduling.
+		in, err := mpi.AllToAll(c, tagTally, outbox)
+		if err != nil {
+			return nil, rs, st, err
+		}
+		outbox = make([][]core.Tally, c.Size())
+		for src := 0; src < c.Size(); src++ {
+			if src == me {
+				continue
+			}
+			for _, t := range in[src] {
+				apply(t)
+			}
+		}
+		rs.Batches++
+	}
+	st.BinSplits = splits
+	rs.PhotonsTraced = traced
+
+	final, err := gatherForest(c, forest, owners, len(nPatches), cfg.Sections, binCfg)
+	return final, rs, st, err
+}

@@ -216,6 +216,12 @@ func (c *Comm) Barrier() {
 // AllToAll sends out[i] to rank i and returns in[i] = the slice received
 // from rank i (in[self] = out[self] without copying). This is the exchange
 // at the end of each photon batch (Figure 5.3).
+//
+// Receives are posted per source, not AnySource: mailboxes are FIFO per
+// (sender, tag), so when a fast rank races one whole exchange ahead and its
+// next-round message is already queued, each round still consumes exactly
+// one message per peer in order. An AnySource loop could swallow two rounds
+// of one peer and none of another.
 func AllToAll[T any](c *Comm, tag int, out [][]T) ([][]T, error) {
 	if len(out) != c.Size() {
 		return nil, fmt.Errorf("mpi: AllToAll needs %d slices, got %d", c.Size(), len(out))
@@ -228,8 +234,11 @@ func AllToAll[T any](c *Comm, tag int, out [][]T) ([][]T, error) {
 	}
 	in := make([][]T, c.Size())
 	in[c.rank] = out[c.rank]
-	for i := 0; i < c.Size()-1; i++ {
-		p, src, ok := c.Recv(AnySource, tag)
+	for src := 0; src < c.Size(); src++ {
+		if src == c.rank {
+			continue
+		}
+		p, _, ok := c.Recv(src, tag)
 		if !ok {
 			return nil, fmt.Errorf("mpi: world closed during AllToAll")
 		}

@@ -80,6 +80,19 @@ func (e Engine) String() string {
 	return "unknown"
 }
 
+// Balance selects the distributed engine's forest-ownership strategy
+// (section 5, "Load Balancing").
+type Balance = dist.Balance
+
+// Available strategies. BalanceBinPack (greedy Best-Fit seeded by the
+// pre-phase photon counts) is the paper's choice and the zero-value
+// default; BalanceNaive is the contiguous-blocks strawman Table 5.2
+// quantifies against it.
+const (
+	BalanceBinPack = dist.BalanceBinPack
+	BalanceNaive   = dist.BalanceNaive
+)
+
 // Config parameterizes a simulation.
 type Config struct {
 	// Photons is the number of photons to emit (required).
@@ -94,6 +107,9 @@ type Config struct {
 	// BatchSize is the photons per rank between all-to-all exchanges
 	// (EngineDistributed only; default 500, the paper's starting size).
 	BatchSize int
+	// Balance selects the forest-ownership load balancing strategy
+	// (EngineDistributed only; default BalanceBinPack).
+	Balance Balance
 	// SplitSigma overrides the 3σ bin-split criterion (0 = default 3).
 	SplitSigma float64
 }
@@ -196,6 +212,7 @@ func Simulate(scene *Scene, cfg Config) (*Solution, error) {
 	case EngineDistributed:
 		dcfg := dist.DefaultConfig(cfg.Photons, workers)
 		dcfg.Core = coreCfg
+		dcfg.Balance = cfg.Balance
 		if cfg.BatchSize > 0 {
 			dcfg.BatchSize = cfg.BatchSize
 		}

@@ -133,6 +133,31 @@ func TestSolutionIntrospection(t *testing.T) {
 	}
 }
 
+func TestDistributedBalanceThreading(t *testing.T) {
+	sc, err := SceneByName("quickstart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []Balance{BalanceBinPack, BalanceNaive} {
+		sol, err := Simulate(sc, Config{
+			Photons: 12000, Engine: EngineDistributed, Workers: 4, Balance: b,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", b, err)
+		}
+		if sol.Stats().PhotonsEmitted != 12000 {
+			t.Fatalf("%v emitted %d", b, sol.Stats().PhotonsEmitted)
+		}
+	}
+	// An out-of-range strategy must reach the dist engine's validation —
+	// this is what proves Config.Balance is actually forwarded.
+	if _, err := Simulate(sc, Config{
+		Photons: 100, Engine: EngineDistributed, Workers: 2, Balance: Balance(99),
+	}); err == nil {
+		t.Error("invalid Balance accepted; Config.Balance not threaded through Simulate")
+	}
+}
+
 func TestEngineString(t *testing.T) {
 	for e, want := range map[Engine]string{
 		EngineSerial: "serial", EngineShared: "shared", EngineDistributed: "distributed",
