@@ -7,6 +7,7 @@ package photon
 // evaluation chapter. cmd/photon-bench prints the full text form.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
@@ -174,6 +175,43 @@ func sizeName(n int) string {
 	}
 }
 
+// BenchmarkSharedContention is the hot-path guard for the buffered shared
+// engine: the seed's locked path (every tally behind the owning tree's
+// write lock, static leapfrog partitioning) against the buffered path
+// (private per-worker buffers, work-stealing chunks, in-order merge) at
+// 1, 4 and 8 workers on the Cornell Box. The buffered path must win where
+// the paper predicts lock contention dominates; photons/sec per
+// sub-benchmark makes the ratio directly readable. Numbers are recorded in
+// DESIGN.md.
+func BenchmarkSharedContention(b *testing.B) {
+	sc, err := SceneByName("cornell-box")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const photonsPerIter = 20000
+	paths := []struct {
+		name string
+		run  func(*scenes.Scene, shared.Config) (*core.Result, error)
+	}{
+		{"locked", shared.RunLocked},
+		{"buffered", shared.Run},
+	}
+	for _, p := range paths {
+		for _, workers := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s-w%d", p.name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := p.run(sc, shared.Config{
+						Core: core.DefaultConfig(photonsPerIter), Workers: workers,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(photonsPerIter)*float64(b.N)/b.Elapsed().Seconds(), "photons/s")
+			})
+		}
+	}
+}
+
 // BenchmarkAblationLockStriping measures the shared engine with 1 worker
 // (lock overhead only) against the lock-free serial engine: the price of
 // the multiple-reader / single-writer protocol.
@@ -190,6 +228,13 @@ func BenchmarkAblationLockStriping(b *testing.B) {
 		}
 	})
 	b.Run("shared-1worker-locked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := shared.RunLocked(sc, shared.Config{Core: core.DefaultConfig(20000), Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("shared-1worker-buffered", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := shared.Run(sc, shared.Config{Core: core.DefaultConfig(20000), Workers: 1}); err != nil {
 				b.Fatal(err)

@@ -1,12 +1,13 @@
 // photon-bench regenerates the paper's tables and figures (chapter 5 and
 // the HPDC'97 appendix), printing the same rows and series the paper
-// reports.
+// reports, and sweeps real engine throughput on this host.
 //
 // Usage:
 //
 //	photon-bench              # run everything, paper order
 //	photon-bench -list        # list experiment ids
 //	photon-bench -run fig-5.4 # run one experiment
+//	photon-bench -engines     # wall-clock photons/sec per engine × workers
 package main
 
 import (
@@ -15,7 +16,10 @@ import (
 	"log"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/scenes"
 )
 
 func main() {
@@ -23,14 +27,24 @@ func main() {
 	log.SetPrefix("photon-bench: ")
 
 	var (
-		list = flag.Bool("list", false, "list experiment ids and exit")
-		run  = flag.String("run", "", "run a single experiment by id")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		run     = flag.String("run", "", "run a single experiment by id")
+		engines = flag.Bool("engines", false, "sweep engine throughput on this host and exit")
+		photons = flag.Int64("photons", 50000, "photons per engine-sweep run (-engines)")
+		scene   = flag.String("scene", "cornell-box", "scene for the engine sweep (-engines)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
+		}
+		return
+	}
+
+	if *engines {
+		if err := engineSweep(*scene, *photons); err != nil {
+			log.Fatal(err)
 		}
 		return
 	}
@@ -59,6 +73,39 @@ func main() {
 	}
 	fmt.Printf("all %d experiments regenerated in %v\n", len(results),
 		time.Since(start).Round(time.Millisecond))
+}
+
+// engineSweep drives every engine through the uniform interface and
+// reports real wall-clock throughput at several worker counts — the
+// companion to BenchmarkSharedContention for quick host characterization.
+func engineSweep(sceneName string, photons int64) error {
+	ctor, ok := scenes.ByName(sceneName)
+	if !ok {
+		return fmt.Errorf("unknown scene %q", sceneName)
+	}
+	sc, err := ctor()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("engine sweep: %s, %d photons per run\n", sceneName, photons)
+	for _, eng := range engine.All() {
+		workerCounts := []int{1, 2, 4, 8}
+		if eng.Name() == "serial" {
+			workerCounts = []int{1}
+		}
+		for _, w := range workerCounts {
+			start := time.Now()
+			res, err := eng.Run(sc, engine.Config{Core: core.DefaultConfig(photons), Workers: w})
+			if err != nil {
+				return fmt.Errorf("%s w=%d: %w", eng.Name(), w, err)
+			}
+			el := time.Since(start)
+			fmt.Printf("  %-12s workers=%d  %8.0f photons/sec  (%v, %d leaves)\n",
+				eng.Name(), w, float64(res.Stats.PhotonsEmitted)/el.Seconds(),
+				el.Round(time.Millisecond), res.Forest.TotalLeaves())
+		}
+	}
+	return nil
 }
 
 func printResult(r *experiments.Result, elapsed time.Duration) {

@@ -1,5 +1,6 @@
 // photon-sim runs a Photon global illumination simulation and writes the
-// answer file.
+// answer file. All four engines are driven through the one internal
+// engine.Engine interface, with live progress reporting.
 //
 // Usage:
 //
@@ -15,8 +16,8 @@ import (
 	"time"
 
 	photon "repro"
-	"repro/internal/dist"
-	"repro/internal/scenes"
+	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 func main() {
@@ -24,13 +25,14 @@ func main() {
 	log.SetPrefix("photon-sim: ")
 
 	var (
-		sceneName = flag.String("scene", "quickstart", "scene: "+strings.Join(photon.SceneNames(), ", "))
-		photons   = flag.Int64("photons", 200000, "photons to emit")
-		engine    = flag.String("engine", "serial", "engine: serial, shared, distributed, geo")
-		workers   = flag.Int("workers", 4, "workers (shared) or ranks (distributed)")
-		batch     = flag.Int("batch", 500, "photons per rank per batch (distributed)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		out       = flag.String("o", "answer.pbf", "output answer file")
+		sceneName  = flag.String("scene", "quickstart", "scene: "+strings.Join(photon.SceneNames(), ", "))
+		photons    = flag.Int64("photons", 200000, "photons to emit")
+		engineName = flag.String("engine", "serial", "engine: serial, shared, distributed, geo")
+		workers    = flag.Int("workers", 4, "workers (shared) or ranks (distributed, geo)")
+		batch      = flag.Int("batch", 0, "photons per exchange round (distributed, geo; 0 = engine default)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		quiet      = flag.Bool("q", false, "suppress the progress line")
+		out        = flag.String("o", "answer.pbf", "output answer file")
 	)
 	flag.Parse()
 
@@ -38,40 +40,56 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *engineName == "dist" { // long-standing CLI alias
+		*engineName = "distributed"
+	}
+	eng, err := engine.ByName(*engineName)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("scene %s: %d defining polygons, %d luminaires\n",
 		scene.Name, scene.DefiningPolygons(), len(scene.Geom.Luminaires))
-	fmt.Printf("tracing %d photons on the %s engine (%d workers)...\n", *photons, *engine, *workers)
+	fmt.Printf("tracing %d photons on the %s engine (%d workers)...\n", *photons, eng.Name(), *workers)
+
+	coreCfg := core.DefaultConfig(*photons)
+	coreCfg.Seed = *seed
+	cfg := engine.Config{
+		Core:      coreCfg,
+		Workers:   *workers,
+		BatchSize: *batch,
+	}
+	if !*quiet {
+		cfg.Progress = func(done, total int64) {
+			fmt.Printf("\r  traced %3d%% (%d/%d)", done*100/total, done, total)
+			if done == total {
+				fmt.Println()
+			}
+		}
+	}
 
 	start := time.Now()
-	var sol *photon.Solution
-	switch *engine {
-	case "serial":
-		sol, err = photon.Simulate(scene, photon.Config{
-			Photons: *photons, Seed: *seed, Engine: photon.EngineSerial})
-	case "shared":
-		sol, err = photon.Simulate(scene, photon.Config{
-			Photons: *photons, Seed: *seed, Engine: photon.EngineShared, Workers: *workers})
-	case "distributed", "dist":
-		sol, err = photon.Simulate(scene, photon.Config{
-			Photons: *photons, Seed: *seed, Engine: photon.EngineDistributed,
-			Workers: *workers, BatchSize: *batch})
-	case "geo":
-		sol, err = runGeo(scene, *photons, *seed, *workers)
-	default:
-		log.Fatalf("unknown engine %q", *engine)
-	}
+	res, err := eng.Run(scene, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
+	sol := photon.SolutionFromResult(res.Result)
 
-	st := sol.Stats()
+	st := res.Stats
 	fmt.Printf("done in %v (%.0f photons/sec)\n", elapsed.Round(time.Millisecond),
 		float64(st.PhotonsEmitted)/elapsed.Seconds())
 	fmt.Printf("  reflections: %d  (mean path %.2f)\n", st.Reflections, st.MeanPathLength())
 	fmt.Printf("  bin splits:  %d  (%d view-dependent bins, %.2f MB)\n",
 		st.BinSplits, sol.Leaves(), float64(sol.MemoryBytes())/1e6)
+	if d := res.Dist; d != nil {
+		fmt.Printf("  distribution: %d messages, %.2f MB traffic", d.Traffic.Messages,
+			float64(d.Traffic.Bytes)/1e6)
+		if d.Forwards > 0 {
+			fmt.Printf(", %d inter-region photon forwards", d.Forwards)
+		}
+		fmt.Println()
+	}
 
 	if err := sol.SaveFile(*out); err != nil {
 		log.Fatal(err)
@@ -81,18 +99,4 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("answer written to %s (%.2f MB)\n", *out, float64(fi.Size())/1e6)
-}
-
-// runGeo drives the geometry-distributed (octree-region ownership) engine —
-// the dissertation's chapter-6 "Massive Parallelism" design.
-func runGeo(scene *scenes.Scene, photons, seed int64, ranks int) (*photon.Solution, error) {
-	cfg := dist.DefaultGeoConfig(photons, ranks)
-	cfg.Core.Seed = seed
-	res, err := dist.GeoRun(scene, cfg)
-	if err != nil {
-		return nil, err
-	}
-	fmt.Printf("  geometry-distributed: %d inter-region photon forwards, %d messages\n",
-		res.Forwards, res.Traffic.Messages)
-	return photon.SolutionFromResult(res.Result), nil
 }

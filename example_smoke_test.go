@@ -1,0 +1,56 @@
+package photon
+
+// Smoke test for the quickstart example: build it with the toolchain and
+// run it end to end (simulate → save → load → render → PNG) in a scratch
+// directory. This is the only test that exercises the examples as a user
+// does — `go run ./examples/quickstart` — so example rot fails CI instead
+// of a reader.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestQuickstartExampleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke test builds a binary; skipped in -short")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	repoRoot, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "quickstart")
+	build := exec.Command(goTool, "build", "-o", bin, "./examples/quickstart")
+	build.Dir = repoRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building quickstart example: %v\n%s", err, out)
+	}
+
+	run := exec.Command(bin, "-photons", "2000", "-seed", "7")
+	run.Dir = dir // outputs land in the scratch dir
+	out, err := run.CombinedOutput()
+	if err != nil {
+		t.Fatalf("running quickstart example: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "wrote quickstart.pbf and quickstart.png") {
+		t.Fatalf("example did not report success:\n%s", out)
+	}
+	for _, name := range []string{"quickstart.pbf", "quickstart.png"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("example did not write %s: %v", name, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("example wrote empty %s", name)
+		}
+	}
+}

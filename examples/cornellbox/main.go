@@ -6,9 +6,9 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
-	"os"
 	"time"
 
 	photon "repro"
@@ -16,6 +16,8 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	photons := flag.Int64("photons", 800000, "photons to emit")
+	flag.Parse()
 
 	scene, err := photon.SceneByName("cornell-box")
 	if err != nil {
@@ -26,7 +28,8 @@ func main() {
 
 	simStart := time.Now()
 	sol, err := photon.Simulate(scene, photon.Config{
-		Photons: 800000,
+		Photons: *photons,
+		Seed:    1, // explicit: the four views below are reproducible
 		Engine:  photon.EngineShared,
 		Workers: 4,
 	})
@@ -59,14 +62,9 @@ func main() {
 			log.Fatal(err)
 		}
 		name := fmt.Sprintf("cornell-%s.png", v.name)
-		f, err := os.Create(name)
-		if err != nil {
+		if err := photon.WritePNGFile(name, img); err != nil {
 			log.Fatal(err)
 		}
-		if err := photon.WritePNG(f, img); err != nil {
-			log.Fatal(err)
-		}
-		f.Close()
 		fmt.Printf("  %s rendered in %v (no recomputation)\n",
 			name, time.Since(t0).Round(time.Millisecond))
 	}

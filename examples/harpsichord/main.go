@@ -12,15 +12,17 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
-	"os"
 
 	photon "repro"
 )
 
 func main() {
 	log.SetFlags(0)
+	photons := flag.Int64("photons", 1200000, "photons to emit")
+	flag.Parse()
 
 	scene, err := photon.SceneByName("harpsichord-room")
 	if err != nil {
@@ -30,7 +32,8 @@ func main() {
 		scene.DefiningPolygons(), len(scene.Geom.Luminaires))
 
 	sol, err := photon.Simulate(scene, photon.Config{
-		Photons: 1200000,
+		Photons: *photons,
+		Seed:    1, // explicit: the shadow profile below is reproducible
 		Engine:  photon.EngineShared,
 		Workers: 4,
 	})
@@ -71,12 +74,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	f, err := os.Create("harpsichord.png")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	if err := photon.WritePNG(f, img); err != nil {
+	if err := photon.WritePNGFile("harpsichord.png", img); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nwrote harpsichord.png (note the mirrored music shelf and soft skylight shadows)")

@@ -3,15 +3,24 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
-	"os"
 
 	photon "repro"
 )
 
 func main() {
 	log.SetFlags(0)
+
+	// Explicit fixed seed: the run is deterministic, so the answer file
+	// and image are reproducible bit-for-bit (the smoke test relies on
+	// this, and on -photons to stay fast).
+	var (
+		photons = flag.Int64("photons", 300000, "photons to emit")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
 
 	// 1. Build a scene (a small white room with one ceiling light).
 	scene, err := photon.SceneByName("quickstart")
@@ -20,8 +29,20 @@ func main() {
 	}
 
 	// 2. Simulate: emit photons, trace them to absorption, accumulate the
-	//    view-independent radiance database.
-	sol, err := photon.Simulate(scene, photon.Config{Photons: 300000})
+	//    view-independent radiance database. The progress callback streams
+	//    completion while the engine runs.
+	lastPct := int64(-1)
+	sol, err := photon.SimulateProgress(scene, photon.Config{
+		Photons: *photons,
+		Seed:    *seed,
+		Engine:  photon.EngineShared,
+		Workers: 4,
+	}, func(done, total int64) {
+		if pct := done * 100 / total; pct >= lastPct+10 {
+			lastPct = pct
+			fmt.Printf("  traced %3d%% (%d/%d photons)\n", pct, done, total)
+		}
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,12 +74,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	f, err := os.Create("quickstart.png")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	if err := photon.WritePNG(f, img); err != nil {
+	if err := photon.WritePNGFile("quickstart.png", img); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("wrote quickstart.pbf and quickstart.png")

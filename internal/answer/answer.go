@@ -29,6 +29,34 @@ type Solution struct {
 	Forest *bintree.Forest
 }
 
+// Summary is a compact digest of a solution, comparable with ==. Two
+// solutions with equal summaries hold structurally identical radiance
+// databases down to floating-point bits (Fingerprint is order-sensitive
+// over every node's splits and tallies) — the equality the cross-engine
+// conformance matrix asserts.
+type Summary struct {
+	SceneName      string
+	EmittedPhotons int64
+	Patches        int
+	Trees          int
+	Leaves         int
+	Tallies        int64
+	Fingerprint    uint64
+}
+
+// Summarize digests the solution.
+func (s *Solution) Summarize() Summary {
+	return Summary{
+		SceneName:      s.SceneName,
+		EmittedPhotons: s.EmittedPhotons,
+		Patches:        s.Forest.NumPatches(),
+		Trees:          s.Forest.NumTrees(),
+		Leaves:         s.Forest.TotalLeaves(),
+		Tallies:        s.Forest.TotalPhotons(),
+		Fingerprint:    s.Forest.Fingerprint(),
+	}
+}
+
 // FromResult wraps a finished simulation.
 func FromResult(res *core.Result) *Solution {
 	return &Solution{

@@ -1,5 +1,7 @@
 package bintree
 
+import "math"
+
 // Forest is the per-scene collection of bin trees, one per defining polygon
 // (Figure 4.6: "a forest of bin trees" under the geometry octree). The
 // Forest is the complete discrete representation of the radiance function —
@@ -86,6 +88,13 @@ func (f *Forest) Add(i int, p Point, w RGB) bool {
 	return f.trees[f.UnitOf(i, p)].Add(p, w)
 }
 
+// AddToUnit tallies a photon directly into tree unit (as returned by
+// UnitOf); callers that already routed the point — the shared engine's
+// locked merge path — avoid recomputing the section.
+func (f *Forest) AddToUnit(unit int, p Point, w RGB) bool {
+	return f.trees[unit].Add(p, w)
+}
+
 // TotalPhotons returns the photons tallied across all trees.
 func (f *Forest) TotalPhotons() int64 {
 	var n int64
@@ -120,7 +129,14 @@ func (f *Forest) MemoryBytes() int64 {
 // The estimate is the leaf's tallied RGB power divided by the bin's measure
 // (surface area covered × projected solid angle): W·m⁻²·sr⁻¹.
 func (f *Forest) Radiance(i int, pt Point, patchArea float64) RGB {
-	leaf := f.trees[f.UnitOf(i, pt)].Leaf(pt)
+	return f.RadianceInUnit(f.UnitOf(i, pt), pt, patchArea)
+}
+
+// RadianceInUnit is Radiance with the section routing already done (unit
+// as returned by UnitOf); callers holding a per-unit lock — the shared
+// engine's viewer path — avoid recomputing the section.
+func (f *Forest) RadianceInUnit(unit int, pt Point, patchArea float64) RGB {
+	leaf := f.trees[unit].Leaf(pt)
 	if leaf.count == 0 {
 		return RGB{}
 	}
@@ -130,6 +146,49 @@ func (f *Forest) Radiance(i int, pt Point, patchArea float64) RGB {
 		return RGB{}
 	}
 	return leaf.power.Scale(1 / (area * omega))
+}
+
+// Fingerprint returns an order-sensitive FNV-1a hash over the complete
+// forest — sectioning, every node's split structure, and the exact bits of
+// every tally (counts, speculative half-counts, RGB power). Two forests
+// fingerprint equal iff they are structurally identical down to
+// floating-point bits, which is the cross-engine conformance test's
+// equality: engines agree not just statistically but on the answer itself.
+func (f *Forest) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mixF := func(x float64) { mix(math.Float64bits(x)) }
+	mix(uint64(f.cells))
+	mix(uint64(len(f.trees)))
+	for _, t := range f.trees {
+		t.Walk(func(n *Node) {
+			if n.IsLeaf() {
+				mix(0)
+				mix(uint64(n.count))
+				mixF(n.power.R)
+				mixF(n.power.G)
+				mixF(n.power.B)
+				for a := 0; a < numAxes; a++ {
+					mix(uint64(n.halfLo[a]))
+				}
+			} else {
+				mix(1)
+				mix(uint64(n.splitAxis))
+				mixF(n.splitAt)
+			}
+		})
+	}
+	return h
 }
 
 // PhotonCounts returns per-tree photon totals; the distributed load

@@ -1,0 +1,96 @@
+package bintree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// FuzzTreeAdd drives split/tally round-trips with adversarial coordinates
+// (including out-of-domain, infinite and NaN values, which Add must clamp
+// or at worst shunt into some leaf) followed by a pseudo-random deposit
+// storm, and checks the tree's conservation invariants: no tally is ever
+// lost across splits, energy is preserved to round-off, and depth respects
+// the configured maximum.
+func FuzzTreeAdd(f *testing.F) {
+	f.Add(int64(1), uint8(6), 0.5, 0.5, 0.5, 3.0, 1.0)
+	f.Add(int64(42), uint8(1), -1.0, 2.0, 0.999999, 7.0, 0.25)
+	f.Add(int64(7), uint8(24), math.Inf(1), math.Inf(-1), math.NaN(), -0.0, 4.0)
+	f.Add(int64(-3), uint8(0), 1.0, 0.0, 1.0, 2*math.Pi, 1e-9)
+	f.Fuzz(func(t *testing.T, seed int64, depth uint8, s, tc, r2, theta, power float64) {
+		cfg := Config{
+			SplitSigma: 3,
+			MinCount:   8,
+			MaxDepth:   int(depth%24) + 1,
+		}
+		tree := NewTree(cfg)
+
+		if !isFinite(power) {
+			power = 1
+		}
+		power = math.Abs(power)
+
+		// The attacker-controlled point first (clamping path), then a
+		// deposit storm concentrated enough to force repeated splits.
+		tree.Add(Point{S: s, T: tc, R2: r2, Theta: theta}, RGB{R: power, G: power / 2, B: power / 3})
+		r := rng.New(seed)
+		const n = 2000
+		var sumR, sumG, sumB float64
+		sumR, sumG, sumB = power, power/2, power/3
+		for i := 0; i < n; i++ {
+			// Squared draws cluster points near the origin so the uniform
+			// hypothesis is rejected and splits actually happen.
+			p := Point{
+				S:     r.Float64() * r.Float64(),
+				T:     r.Float64() * r.Float64(),
+				R2:    r.Float64(),
+				Theta: r.Float64() * 2 * math.Pi,
+			}
+			w := RGB{R: r.Float64(), G: r.Float64(), B: r.Float64()}
+			sumR += w.R
+			sumG += w.G
+			sumB += w.B
+			tree.Add(p, w)
+		}
+
+		// Invariant 1: splits never lose a tally.
+		if tree.Total() != n+1 {
+			t.Fatalf("tree total %d, want %d", tree.Total(), n+1)
+		}
+		if got := tree.SumLeafCounts(); got != tree.Total() {
+			t.Fatalf("leaf counts sum to %d, total says %d", got, tree.Total())
+		}
+
+		// Invariant 2: depth respects the configured maximum.
+		if got := tree.MaxDepth(); got > cfg.MaxDepth {
+			t.Fatalf("leaf at depth %d exceeds MaxDepth %d", got, cfg.MaxDepth)
+		}
+
+		// Invariant 3: energy is conserved across splits to round-off
+		// (splits divide power proportionally; the halves must still sum).
+		var gotR, gotG, gotB float64
+		leaves := 0
+		tree.Walk(func(nd *Node) {
+			if nd.IsLeaf() {
+				leaves++
+				p := nd.Power()
+				gotR += p.R
+				gotG += p.G
+				gotB += p.B
+			}
+		})
+		if leaves != tree.Leaves() {
+			t.Fatalf("walk found %d leaves, tree says %d", leaves, tree.Leaves())
+		}
+		for _, ch := range [][2]float64{{gotR, sumR}, {gotG, sumG}, {gotB, sumB}} {
+			got, want := ch[0], ch[1]
+			tol := 1e-9 * math.Max(1, want)
+			if math.Abs(got-want) > tol {
+				t.Fatalf("energy lost across splits: leaves hold %v, deposited %v", got, want)
+			}
+		}
+	})
+}
+
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }

@@ -38,6 +38,12 @@ type Config struct {
 	// Bin configures the histogram forest; zero value means
 	// bintree.DefaultConfig.
 	Bin bintree.Config
+	// Sections is the per-axis (s,t) section count per defining polygon:
+	// the forest holds Sections² trees per polygon. 0 or 1 means one tree
+	// per polygon. Sectioning is the distributed engine's ownership
+	// granularity; the serial and shared engines accept it so that a run
+	// with any engine at the same Sections produces the identical forest.
+	Sections int
 }
 
 // DefaultConfig returns sensible simulation parameters.
@@ -52,6 +58,31 @@ func (c *Config) normalize() {
 	if c.Bin == (bintree.Config{}) {
 		c.Bin = bintree.DefaultConfig()
 	}
+	if c.Sections < 1 {
+		c.Sections = 1
+	}
+}
+
+// photonState places photon idx's private substream on the drand48 cycle
+// via a splitmix-style hash of (seed, idx). Hashing — rather than a fixed
+// jump-ahead block per photon — means substream starts cannot align
+// systematically with each other for any photon count; residual overlaps
+// are birthday-rare and a few dozen draws long.
+func photonState(seed, idx int64) uint64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(idx)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// PhotonStream returns photon idx's private random substream. Every engine
+// draws photon idx's entire life — emission and flight — from this one
+// stream, which makes the trajectory a pure function of (seed, idx): the
+// same photon is the same photon no matter which worker, rank or chunk
+// traces it. This is the foundation of the cross-engine conformance
+// guarantee.
+func PhotonStream(seed, idx int64) *rng.Source {
+	return rng.NewFromState(photonState(seed, idx))
 }
 
 // Stats accumulates simulation counters.
@@ -103,15 +134,28 @@ func (s *Simulator) Config() Config { return s.cfg }
 
 // Run executes the full simulation serially and returns the answer forest.
 func Run(scene *scenes.Scene, cfg Config) (*Result, error) {
+	return RunProgress(scene, cfg, nil)
+}
+
+// RunProgress is Run with a streaming completion callback: progress (which
+// may be nil) is invoked from the simulating goroutine with the photons
+// finished so far and the total, at a coarse cadence.
+func RunProgress(scene *scenes.Scene, cfg Config, progress func(done, total int64)) (*Result, error) {
 	sim, err := NewSimulator(scene, cfg)
 	if err != nil {
 		return nil, err
 	}
-	forest := bintree.NewForest(len(scene.Geom.Patches), sim.cfg.Bin)
-	stream := rng.New(cfg.Seed)
+	forest := bintree.NewForestSectioned(len(scene.Geom.Patches), sim.cfg.Sections, sim.cfg.Bin)
+	const progressEvery = 4096
 	var stats Stats
 	for i := int64(0); i < cfg.Photons; i++ {
-		sim.TracePhoton(stream, forest, &stats)
+		sim.TracePhoton(PhotonStream(sim.cfg.Seed, i), forest, &stats)
+		if progress != nil && (i+1)%progressEvery == 0 {
+			progress(i+1, cfg.Photons)
+		}
+	}
+	if progress != nil && cfg.Photons%progressEvery != 0 {
+		progress(cfg.Photons, cfg.Photons)
 	}
 	return &Result{
 		Scene: scene, Forest: forest, Stats: stats,

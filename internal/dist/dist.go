@@ -18,10 +18,14 @@
 //     owners. No replicated-forest exchange takes place; Result.Forwards
 //     counts the migrations.
 //
-// Both engines are deterministic for a fixed Core.Seed and rank count: all
-// randomness flows through leapfrogged (Run) or jump-ahead per-photon
-// (GeoRun) substreams of the single global sequence, and every collective
-// applies incoming data in rank order.
+// Both engines draw every photon's whole life from its private
+// core.PhotonStream substream, so trajectories are pure functions of
+// (seed, photon index) at any rank count. Run additionally applies each
+// section tree's tallies in global photon-index order (chunk-cyclic
+// assignment, sender-rank-order application), which makes its assembled
+// forest bit-identical to a serial run at the same sectioning; GeoRun's
+// forest is assembled in arrival order — deterministic per rank count,
+// with serial-identical statistics.
 package dist
 
 import (
@@ -83,11 +87,16 @@ type Config struct {
 	// Sections is the per-axis section count per defining polygon; the
 	// ownership unit is one section tree, so cells=4 gives 16 units per
 	// polygon for the packer to spread (Run only; GeoRun owns whole
-	// polygons by region).
+	// polygons by region). Precedence: an explicit Sections wins; when 0,
+	// Core.Sections > 1 is adopted; otherwise 1. normalize syncs
+	// Core.Sections to the winner so the two views never diverge.
 	Sections int
 	// PrePhotons is the redundant pre-phase sample size used to estimate
 	// per-section load before ownership is assigned (Run only).
 	PrePhotons int64
+	// Progress, when non-nil, receives the photons globally finished so
+	// far and the total. Rank 0 reports it once per exchange round.
+	Progress func(done, total int64)
 }
 
 // DefaultConfig returns the replicated-geometry engine defaults: the
@@ -139,8 +148,14 @@ func (c *Config) normalize() error {
 		c.BatchSize = 500
 	}
 	if c.Sections <= 0 {
-		c.Sections = 1
+		if c.Core.Sections > 1 {
+			c.Sections = c.Core.Sections
+		} else {
+			c.Sections = 1
+		}
 	}
+	// Keep the core view coherent: the forest shape is dist's Sections.
+	c.Core.Sections = c.Sections
 	if c.PrePhotons <= 0 {
 		c.PrePhotons = defaultPrePhase(c.Core.Photons)
 	}

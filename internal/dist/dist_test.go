@@ -89,7 +89,8 @@ func TestRunRankCountInvariance(t *testing.T) {
 		t.Fatal(err)
 	}
 	const photons = 24000
-	var paths, tallies []float64
+	var stats []core.Stats
+	var prints []uint64
 	for _, ranks := range []int{1, 2, 4, 8} {
 		res, err := Run(sc, DefaultConfig(photons, ranks))
 		if err != nil {
@@ -102,15 +103,17 @@ func TestRunRankCountInvariance(t *testing.T) {
 		if len(res.PerRank) != ranks {
 			t.Fatalf("ranks=%d: %d PerRank entries", ranks, len(res.PerRank))
 		}
-		paths = append(paths, res.Stats.MeanPathLength())
-		tallies = append(tallies, float64(res.Forest.TotalPhotons()))
+		stats = append(stats, res.Stats)
+		prints = append(prints, res.Forest.Fingerprint())
 	}
-	for i := 1; i < len(paths); i++ {
-		if math.Abs(paths[i]-paths[0]) > 0.06*paths[0] {
-			t.Errorf("mean path varies with rank count: %v", paths)
+	// Per-photon substreams + photon-order application: the answer is
+	// EXACTLY rank-count invariant, stats and forest bits included.
+	for i := 1; i < len(stats); i++ {
+		if stats[i] != stats[0] {
+			t.Errorf("stats vary with rank count:\n%+v\n%+v", stats[0], stats[i])
 		}
-		if math.Abs(tallies[i]-tallies[0]) > 0.06*tallies[0] {
-			t.Errorf("total tallies vary with rank count: %v", tallies)
+		if prints[i] != prints[0] {
+			t.Errorf("forest varies with rank count: %x vs %x", prints[0], prints[i])
 		}
 	}
 }

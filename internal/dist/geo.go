@@ -34,20 +34,6 @@ type geoFlight struct {
 	RngState uint64
 }
 
-// photonState places photon idx's private substream on the drand48 cycle
-// via a splitmix-style hash of (seed, idx). Hashing — rather than a fixed
-// jump-ahead block — matters: the leapfrogged emission streams start at
-// every multiple of 2^48/ranks, so any structured offset coincides with
-// one of them for some rank count (2^47 is exactly rank p/2's start for
-// even p). Hashed placement cannot align systematically; residual
-// overlaps are birthday-rare and a few dozen draws long.
-func photonState(seed, idx int64) uint64 {
-	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(idx)
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	return z ^ (z >> 31)
-}
-
 // GeoRun executes the geometry-distributed simulation.
 func GeoRun(scene *scenes.Scene, cfg Config) (*Result, error) {
 	if err := cfg.normalize(); err != nil {
@@ -74,7 +60,6 @@ func GeoRun(scene *scenes.Scene, cfg Config) (*Result, error) {
 	for r := 1; r < cfg.Ranks; r++ {
 		starts[r] = starts[r-1] + share[r-1]
 	}
-	streams := rng.Leapfrog(rng.New(coreCfg.Seed), cfg.Ranks)
 
 	perRank := make([]RankStats, cfg.Ranks)
 	statsPerRank := make([]core.Stats, cfg.Ranks)
@@ -87,9 +72,10 @@ func GeoRun(scene *scenes.Scene, cfg Config) (*Result, error) {
 			comm: c, scene: scene, sim: sim,
 			seed:       coreCfg.Seed,
 			batch:      int64(cfg.BatchSize),
+			photons:    coreCfg.Photons,
 			patchOwner: patchOwner,
 			forest:     bintree.NewForest(nPatches, coreCfg.Bin),
-			stream:     streams[me],
+			progress:   cfg.Progress,
 			rs:         RankStats{Rank: me},
 		}
 		final, err := g.run(share[me], starts[me])
@@ -144,14 +130,16 @@ type geoRank struct {
 	sim        *core.Simulator
 	seed       int64
 	batch      int64
+	photons    int64
 	patchOwner []int
 	forest     *bintree.Forest
-	stream     *rng.Source // emission draws (leapfrogged per rank)
+	progress   func(done, total int64)
 
 	st       core.Stats
 	rs       RankStats
 	forwards int64
 	splits   int64
+	lastDone int64
 }
 
 func (g *geoRank) me() int { return g.comm.Rank() }
@@ -203,14 +191,16 @@ func (g *geoRank) trace(f geoFlight, photonsOut [][]geoFlight, tallyOut [][]core
 
 // emit generates one photon: the emission tally is routed to the emitting
 // polygon's owner, and the flight begins here (forwarding immediately if
-// the first hit is foreign). globalIdx selects the photon's private
-// substream.
+// the first hit is foreign). The photon's whole life — emission draws and
+// flight draws — comes from its private core.PhotonStream substream, so
+// its trajectory matches every other engine's photon globalIdx exactly.
 func (g *geoRank) emit(globalIdx int64, photonsOut [][]geoFlight, tallyOut [][]core.Tally) {
-	fl := g.sim.EmitPhoton(g.stream, &g.st, func(t core.Tally) { g.route(t, tallyOut) })
+	stream := core.PhotonStream(g.seed, globalIdx)
+	fl := g.sim.EmitPhoton(stream, &g.st, func(t core.Tally) { g.route(t, tallyOut) })
 	g.rs.PhotonsTraced++
 	g.trace(geoFlight{
 		Flight:   fl,
-		RngState: photonState(g.seed, globalIdx),
+		RngState: stream.State(),
 	}, photonsOut, tallyOut)
 }
 
@@ -259,6 +249,16 @@ func (g *geoRank) run(myShare, startIdx int64) (*bintree.Forest, error) {
 		total, err := mpi.AllReduceSum(c, tagWork, float64(remaining)+float64(len(pending)))
 		if err != nil {
 			return nil, err
+		}
+		if g.me() == 0 && g.progress != nil {
+			// The reduction counts unemitted plus airborne photons, so the
+			// complement is the photons fully terminated everywhere. A
+			// round in which every flight was forwarded finishes nothing;
+			// skip it to keep the callback strictly monotone.
+			if done := g.photons - int64(total); done > g.lastDone {
+				g.lastDone = done
+				g.progress(done, g.photons)
+			}
 		}
 		if total == 0 {
 			break

@@ -2,18 +2,26 @@ package dist
 
 // The replicated-geometry engine (Figure 5.3): every rank holds the whole
 // scene and a full-shape (mostly empty) sectioned forest, but owns only the
-// sections the load balancer assigned to it. Ranks trace disjoint photon
-// shares drawn from leapfrogged substreams; tallies destined for foreign
-// sections are queued and exchanged all-to-all at the end of every batch,
-// so each section's adaptive binning evolves on exactly one rank and the
-// final gather is exact.
+// sections the load balancer assigned to it. The photon stream is divided
+// into global chunks of BatchSize photons dealt cyclically to ranks (rank r
+// traces chunks r, r+R, r+2R, …); tallies destined for foreign sections are
+// queued and exchanged all-to-all at the end of every round, so each
+// section's adaptive binning evolves on exactly one rank and the final
+// gather is exact.
+//
+// Every photon draws from its private core.PhotonStream substream, and each
+// owner applies one round's chunk payloads in rank order — i.e. in global
+// chunk order, i.e. in photon-index order. Every section tree therefore
+// sees its tallies in exactly the serial engine's order, which makes the
+// assembled forest bit-identical to a serial run at any rank count or batch
+// size (the cross-engine conformance guarantee), while application stays
+// online with memory bounded by one round's tallies.
 
 import (
 	"repro/internal/bintree"
 	"repro/internal/core"
 	"repro/internal/loadbalance"
 	"repro/internal/mpi"
-	"repro/internal/rng"
 	"repro/internal/scenes"
 )
 
@@ -44,19 +52,15 @@ func Run(scene *scenes.Scene, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	share := shares(cfg.Core.Photons, cfg.Ranks)
-	// Every rank participates in the same number of exchange rounds (the
-	// collective must stay aligned); ranks that run out of photons trace
-	// zero in the tail rounds.
-	maxShare := share[0]
-	rounds := int((maxShare + int64(cfg.BatchSize) - 1) / int64(cfg.BatchSize))
+	// The photon stream is cut into global chunks of BatchSize photons,
+	// dealt cyclically to ranks. Every rank participates in the same number
+	// of exchange rounds (the collective must stay aligned); ranks whose
+	// chunk index runs past the end trace zero in the tail rounds.
+	chunks := (cfg.Core.Photons + int64(cfg.BatchSize) - 1) / int64(cfg.BatchSize)
+	rounds := int((chunks + int64(cfg.Ranks) - 1) / int64(cfg.Ranks))
 	if rounds == 0 {
 		rounds = 1
 	}
-
-	// Leapfrog the global stream into disjoint per-rank substreams: the
-	// paper's "individual periods of 2^48/P" with no duplicated work.
-	streams := rng.Leapfrog(rng.New(cfg.Core.Seed), cfg.Ranks)
 
 	perRank := make([]RankStats, cfg.Ranks)
 	statsPerRank := make([]core.Stats, cfg.Ranks)
@@ -64,7 +68,7 @@ func Run(scene *scenes.Scene, cfg Config) (*Result, error) {
 
 	world, err := mpi.Run(cfg.Ranks, func(c *mpi.Comm) error {
 		me := c.Rank()
-		forest, rs, st, err := runRank(c, sim, cfg, asn.Owner, streams[me], share[me], rounds, binCfg)
+		forest, rs, st, err := runRank(c, sim, cfg, asn.Owner, rounds, binCfg)
 		if err != nil {
 			return err
 		}
@@ -103,20 +107,27 @@ func Run(scene *scenes.Scene, cfg Config) (*Result, error) {
 // main run still emits exactly Core.Photons.
 func prePhaseWeights(sim *core.Simulator, nPatches int, cfg Config, binCfg bintree.Config) []int64 {
 	scratch := bintree.NewForestSectioned(nPatches, cfg.Sections, binCfg)
-	stream := rng.New(cfg.Core.Seed)
+	seed := sim.Config().Seed
 	var st core.Stats
 	for i := int64(0); i < cfg.PrePhotons; i++ {
-		sim.TracePhoton(stream, scratch, &st)
+		// The pre-phase samples the exact prefix of the main run's photon
+		// stream, so the load estimate is of the photons actually traced.
+		sim.TracePhoton(core.PhotonStream(seed, i), scratch, &st)
 	}
 	return scratch.PhotonCounts()
 }
 
-// runRank is one rank's whole life: trace the photon share in batches,
-// exchange tallies after every batch, then take part in the final gather.
+// runRank is one rank's whole life: trace its cyclic share of the global
+// photon chunks round by round, exchange tallies after every round and
+// apply them in rank (= photon) order, then take part in the final gather.
 func runRank(c *mpi.Comm, sim *core.Simulator, cfg Config, owners []int,
-	stream *rng.Source, myShare int64, rounds int, binCfg bintree.Config,
+	rounds int, binCfg bintree.Config,
 ) (*bintree.Forest, RankStats, core.Stats, error) {
 	me := c.Rank()
+	size := c.Size()
+	seed := sim.Config().Seed
+	photons := sim.Config().Photons
+	batch := int64(cfg.BatchSize)
 	nPatches := sim.Scene().Geom.Patches
 	forest := bintree.NewForestSectioned(len(nPatches), cfg.Sections, binCfg)
 	rs := RankStats{Rank: me}
@@ -130,33 +141,44 @@ func runRank(c *mpi.Comm, sim *core.Simulator, cfg Config, owners []int,
 		rs.TalliesApplied++
 	}
 
-	outbox := make([][]core.Tally, c.Size())
-	traced := int64(0)
 	for round := 0; round < rounds; round++ {
-		n := min(int64(cfg.BatchSize), myShare-traced)
-		for i := int64(0); i < n; i++ {
-			sim.TracePhotonFunc(stream, &st, func(t core.Tally) {
+		// This round's chunk for this rank: global chunk round*size+me.
+		chunk := int64(round)*int64(size) + int64(me)
+		lo := chunk * batch
+		hi := min(photons, lo+batch)
+		// Foreign tallies per destination; owned tallies buffered so they
+		// can be applied at this rank's slot in the round's rank order.
+		outbox := make([][]core.Tally, size)
+		var mine []core.Tally
+		for i := lo; i < hi; i++ {
+			sim.TracePhotonFunc(core.PhotonStream(seed, i), &st, func(t core.Tally) {
 				unit := forest.UnitOf(int(t.Patch), t.Point)
 				if owner := owners[unit]; owner == me {
-					apply(t)
+					mine = append(mine, t)
 				} else {
 					outbox[owner] = append(outbox[owner], t)
 					rs.TalliesForwarded++
 				}
 			})
 		}
-		traced += n
+		if hi > lo {
+			rs.PhotonsTraced += hi - lo
+		}
 
-		// Batched all-to-all tally exchange (Figure 5.3). Incoming
-		// slices are applied in rank order, so the forest every section
-		// owner grows is independent of scheduling.
+		// Batched all-to-all tally exchange (Figure 5.3). One round's
+		// payloads are applied in rank order — source ranks hold ascending
+		// chunks, so every section tree sees its tallies in global
+		// photon-index order, exactly as the serial engine would apply
+		// them.
 		in, err := mpi.AllToAll(c, tagTally, outbox)
 		if err != nil {
 			return nil, rs, st, err
 		}
-		outbox = make([][]core.Tally, c.Size())
-		for src := 0; src < c.Size(); src++ {
+		for src := 0; src < size; src++ {
 			if src == me {
+				for _, t := range mine {
+					apply(t)
+				}
 				continue
 			}
 			for _, t := range in[src] {
@@ -164,9 +186,12 @@ func runRank(c *mpi.Comm, sim *core.Simulator, cfg Config, owners []int,
 			}
 		}
 		rs.Batches++
+
+		if me == 0 && cfg.Progress != nil {
+			cfg.Progress(min(photons, int64(round+1)*int64(size)*batch), photons)
+		}
 	}
 	st.BinSplits = splits
-	rs.PhotonsTraced = traced
 
 	final, err := gatherForest(c, forest, owners, len(nPatches), cfg.Sections, binCfg)
 	return final, rs, st, err

@@ -1,0 +1,94 @@
+// Package engine defines the one interface every Photon parallelization
+// strategy implements, so that callers — the public photon API, the
+// commands, the experiment harness — drive serial, shared-memory,
+// replicated-distributed and geometry-distributed execution through a
+// single Run call with uniform configuration and progress reporting.
+//
+// The engines are interchangeable in a strong sense: serial, shared and
+// distributed runs with the same Core config (seed, photons, sections)
+// produce bit-identical statistics and bit-identical bin forests, because
+// every photon draws from its private core.PhotonStream substream and every
+// engine applies each tree's tallies in photon-index order. The conformance
+// matrix in the repository root pins this down for every bundled scene.
+// (Geo agrees on all trajectory statistics; its forest is assembled in
+// arrival order, so bin-split layout may differ.)
+package engine
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/scenes"
+)
+
+// ProgressFunc receives streaming completion callbacks: photons fully
+// finished so far, out of total. Calls are strictly monotone in done and
+// end with done == total.
+type ProgressFunc func(done, total int64)
+
+// Config is the engine-independent run configuration; engines ignore the
+// knobs that do not apply to them.
+type Config struct {
+	// Core carries the physics: photons, seed, split rule, sectioning.
+	Core core.Config
+	// Workers is the goroutine count (shared) or rank count (distributed
+	// engines); 0 means all available CPUs.
+	Workers int
+	// ChunkSize is the shared engine's work-stealing chunk granularity
+	// (0 = default).
+	ChunkSize int64
+	// BatchSize is the distributed engines' photons per exchange round
+	// (0 = engine default).
+	BatchSize int
+	// Balance selects the replicated-distributed forest-ownership strategy.
+	Balance dist.Balance
+	// Progress, when non-nil, streams completion callbacks.
+	Progress ProgressFunc
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Solution is the uniform result of any engine run: the core answer plus,
+// for the message-passing engines, the distribution telemetry.
+type Solution struct {
+	*core.Result
+	// Dist is non-nil for the distributed engines.
+	Dist *dist.Result
+}
+
+// Engine is one parallelization strategy of the Photon simulator.
+type Engine interface {
+	// Name is the strategy's stable identifier ("serial", "shared",
+	// "distributed", "geo").
+	Name() string
+	// Run executes the simulation to completion.
+	Run(scene *scenes.Scene, cfg Config) (*Solution, error)
+}
+
+// The four engines.
+var (
+	Serial      Engine = serialEngine{}
+	Shared      Engine = sharedEngine{}
+	Distributed Engine = distEngine{}
+	Geo         Engine = geoEngine{}
+)
+
+// All returns every engine in presentation order.
+func All() []Engine { return []Engine{Serial, Shared, Distributed, Geo} }
+
+// ByName resolves an engine by its Name.
+func ByName(name string) (Engine, error) {
+	for _, e := range All() {
+		if e.Name() == name {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("engine: unknown engine %q (have serial, shared, distributed, geo)", name)
+}

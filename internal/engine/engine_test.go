@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenes"
+)
+
+func quickScene(t testing.TB) *scenes.Scene {
+	t.Helper()
+	s, err := scenes.Quickstart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestByName(t *testing.T) {
+	for _, e := range All() {
+		got, err := ByName(e.Name())
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", e.Name(), err)
+		}
+		if got.Name() != e.Name() {
+			t.Fatalf("ByName(%q) returned %q", e.Name(), got.Name())
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("unknown engine name accepted")
+	}
+}
+
+func TestEveryEngineRunsAndConserves(t *testing.T) {
+	s := quickScene(t)
+	for _, e := range All() {
+		sol, err := e.Run(s, Config{Core: core.DefaultConfig(4000), Workers: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if sol.Stats.PhotonsEmitted != 4000 {
+			t.Fatalf("%s emitted %d, want 4000", e.Name(), sol.Stats.PhotonsEmitted)
+		}
+		want := sol.Stats.PhotonsEmitted + sol.Stats.Reflections
+		if got := sol.Forest.TotalPhotons(); got != want {
+			t.Fatalf("%s forest holds %d tallies, want %d", e.Name(), got, want)
+		}
+	}
+}
+
+func TestDistEnginesCarryTelemetry(t *testing.T) {
+	s := quickScene(t)
+	for _, e := range []Engine{Distributed, Geo} {
+		sol, err := e.Run(s, Config{Core: core.DefaultConfig(3000), Workers: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if sol.Dist == nil {
+			t.Fatalf("%s returned no dist telemetry", e.Name())
+		}
+		if len(sol.Dist.PerRank) != 2 {
+			t.Fatalf("%s PerRank has %d entries, want 2", e.Name(), len(sol.Dist.PerRank))
+		}
+	}
+	sol, err := Serial.Run(s, Config{Core: core.DefaultConfig(1000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Dist != nil {
+		t.Fatal("serial engine returned dist telemetry")
+	}
+}
+
+func TestProgressReportingAllEngines(t *testing.T) {
+	s := quickScene(t)
+	for _, e := range All() {
+		var mu sync.Mutex
+		var calls []int64
+		cfg := Config{Core: core.DefaultConfig(5000), Workers: 2, ChunkSize: 256, BatchSize: 500}
+		cfg.Progress = func(done, total int64) {
+			mu.Lock()
+			defer mu.Unlock()
+			if total != 5000 {
+				t.Errorf("%s: progress total %d, want 5000", e.Name(), total)
+			}
+			calls = append(calls, done)
+		}
+		if _, err := e.Run(s, cfg); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if len(calls) == 0 {
+			t.Fatalf("%s reported no progress", e.Name())
+		}
+		if final := calls[len(calls)-1]; final != 5000 {
+			t.Fatalf("%s: final progress %d, want 5000", e.Name(), final)
+		}
+		for i := 1; i < len(calls); i++ {
+			if calls[i] < calls[i-1] {
+				t.Fatalf("%s: progress regressed: %v", e.Name(), calls)
+			}
+		}
+	}
+}
+
+func TestGeoRejectsSectioning(t *testing.T) {
+	s := quickScene(t)
+	cfg := Config{Core: core.DefaultConfig(100)}
+	cfg.Core.Sections = 4
+	if _, err := Geo.Run(s, cfg); err == nil {
+		t.Fatal("geo accepted a sectioned forest instead of refusing")
+	}
+}
+
+func TestWorkersDefaultToGOMAXPROCS(t *testing.T) {
+	s := quickScene(t)
+	// Workers=0 must not error on any engine.
+	for _, e := range All() {
+		if _, err := e.Run(s, Config{Core: core.DefaultConfig(500)}); err != nil {
+			t.Fatalf("%s with Workers=0: %v", e.Name(), err)
+		}
+	}
+}

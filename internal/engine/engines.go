@@ -1,0 +1,91 @@
+package engine
+
+// The four Engine implementations: thin, uniform adapters over the
+// strategy packages. Each maps the engine-independent Config onto its
+// package's own configuration and wraps the result in a Solution.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/scenes"
+	"repro/internal/shared"
+)
+
+type serialEngine struct{}
+
+func (serialEngine) Name() string { return "serial" }
+
+func (serialEngine) Run(scene *scenes.Scene, cfg Config) (*Solution, error) {
+	res, err := core.RunProgress(scene, cfg.Core, cfg.Progress)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{Result: res}, nil
+}
+
+type sharedEngine struct{}
+
+func (sharedEngine) Name() string { return "shared" }
+
+func (sharedEngine) Run(scene *scenes.Scene, cfg Config) (*Solution, error) {
+	res, err := shared.Run(scene, shared.Config{
+		Core:      cfg.Core,
+		Workers:   cfg.workers(),
+		ChunkSize: cfg.ChunkSize,
+		Progress:  cfg.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{Result: res}, nil
+}
+
+type distEngine struct{}
+
+func (distEngine) Name() string { return "distributed" }
+
+func (distEngine) Run(scene *scenes.Scene, cfg Config) (*Solution, error) {
+	dcfg := dist.DefaultConfig(cfg.Core.Photons, cfg.workers())
+	dcfg.Core = cfg.Core
+	dcfg.Balance = cfg.Balance
+	if cfg.Core.Sections > 0 {
+		dcfg.Sections = cfg.Core.Sections
+	}
+	if cfg.BatchSize > 0 {
+		dcfg.BatchSize = cfg.BatchSize
+	}
+	dcfg.Progress = cfg.Progress
+	res, err := dist.Run(scene, dcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{Result: res.Result, Dist: res}, nil
+}
+
+type geoEngine struct{}
+
+func (geoEngine) Name() string { return "geo" }
+
+func (geoEngine) Run(scene *scenes.Scene, cfg Config) (*Solution, error) {
+	// Geo owns whole polygons by region; its forest is never sectioned.
+	// Refuse rather than silently ignore an explicit sectioning request.
+	if cfg.Core.Sections > 1 {
+		return nil, fmt.Errorf("engine: geo does not support sectioned forests (Sections=%d)", cfg.Core.Sections)
+	}
+	dcfg := dist.DefaultGeoConfig(cfg.Core.Photons, cfg.workers())
+	sections := dcfg.Sections
+	dcfg.Core = cfg.Core
+	dcfg.Core.Sections = sections
+	dcfg.Sections = sections
+	if cfg.BatchSize > 0 {
+		dcfg.BatchSize = cfg.BatchSize
+	}
+	dcfg.Progress = cfg.Progress
+	res, err := dist.GeoRun(scene, dcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{Result: res.Result, Dist: res}, nil
+}

@@ -1,19 +1,33 @@
-// Package shared implements the shared-memory parallelization of Photon
-// (Figure 5.2): every worker executes the same trace loop against one
-// shared bin forest, with mutual exclusion around bin updates following the
-// paper's multiple-reader / single-writer protocol. Workers draw from
-// leapfrogged random substreams so no photon work is duplicated.
+// Package shared implements the shared-memory parallelization of Photon.
 //
-// Locking granularity is the per-polygon bin tree (the natural striping of
-// the forest in Figure 4.6): readers of other trees are never blocked while
-// one tree splits, which is the property the paper's semaphore scheme
-// exists to provide.
+// The seed algorithm (Figure 5.2, retained as RunLocked) executes the same
+// trace loop on every worker against one shared bin forest, serializing
+// every tally behind the owning tree's write lock. That is faithful to the
+// paper — and it caps scaling exactly where the paper predicts lock
+// contention dominates.
+//
+// Run is the contention-free successor. Workers pull photon chunks from a
+// shared work-stealing queue (dynamic self-scheduling: a straggler on a
+// hard chunk never idles a finished worker, unlike the static leapfrog
+// split), trace each chunk into a private per-worker tally buffer with no
+// shared state touched on the hot path, and hand completed buffers to an
+// in-order merger that flushes batched deposits into the forest — splits
+// happen at merge time, under the existing per-tree lock, so a viewer can
+// still render concurrently with an ongoing simulation (the paper's
+// lights-on-while-walking-in picture).
+//
+// Because every photon draws from its private core.PhotonStream substream
+// and chunks are merged in photon-index order, the forest Run produces is
+// bit-identical to the serial engine's at any worker count and under any
+// goroutine schedule — the property the cross-engine conformance matrix
+// pins down.
 package shared
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bintree"
 	"repro/internal/core"
@@ -25,6 +39,14 @@ import (
 type Config struct {
 	Core    core.Config
 	Workers int
+	// ChunkSize is the photons per work-stealing chunk (default 512).
+	// Smaller chunks balance load more finely at the cost of more queue
+	// and merge transactions.
+	ChunkSize int64
+	// Progress, when non-nil, receives the photons merged so far and the
+	// total. It is invoked by whichever worker holds the merge baton, in
+	// strictly increasing order of done.
+	Progress func(done, total int64)
 }
 
 // DefaultConfig uses all available CPUs.
@@ -35,33 +57,40 @@ func DefaultConfig(photons int64) Config {
 // LockedForest guards a bin forest with one RWMutex per tree. Tally
 // updates (which may split) take the tree's write lock; radiance queries
 // take the read lock, so a viewer can render concurrently with an ongoing
-// simulation — the paper's lights-on-while-walking-in picture.
+// simulation. In Run only the merge path writes, so workers never touch a
+// lock while tracing; in RunLocked every tally takes the write lock.
 type LockedForest struct {
 	forest *bintree.Forest
 	locks  []sync.RWMutex
 }
 
-// NewLockedForest wraps a fresh forest for nPatches patches.
+// NewLockedForest wraps a fresh unsectioned forest for nPatches patches.
 func NewLockedForest(nPatches int, cfg bintree.Config) *LockedForest {
-	return &LockedForest{
-		forest: bintree.NewForest(nPatches, cfg),
-		locks:  make([]sync.RWMutex, nPatches),
-	}
+	return NewLockedForestSectioned(nPatches, 1, cfg)
+}
+
+// NewLockedForestSectioned wraps a fresh forest with cells×cells section
+// trees per patch; the lock granularity is the section tree.
+func NewLockedForestSectioned(nPatches, cells int, cfg bintree.Config) *LockedForest {
+	f := bintree.NewForestSectioned(nPatches, cells, cfg)
+	return &LockedForest{forest: f, locks: make([]sync.RWMutex, f.NumTrees())}
 }
 
 // Add tallies a photon under the owning tree's write lock; reports a split.
 func (lf *LockedForest) Add(patch int, p bintree.Point, w bintree.RGB) bool {
-	lf.locks[patch].Lock()
-	split := lf.forest.Add(patch, p, w)
-	lf.locks[patch].Unlock()
+	unit := lf.forest.UnitOf(patch, p)
+	lf.locks[unit].Lock()
+	split := lf.forest.AddToUnit(unit, p, w)
+	lf.locks[unit].Unlock()
 	return split
 }
 
 // Radiance queries under the read lock.
 func (lf *LockedForest) Radiance(patch int, p bintree.Point, patchArea float64) bintree.RGB {
-	lf.locks[patch].RLock()
-	r := lf.forest.Radiance(patch, p, patchArea)
-	lf.locks[patch].RUnlock()
+	unit := lf.forest.UnitOf(patch, p)
+	lf.locks[unit].RLock()
+	r := lf.forest.RadianceInUnit(unit, p, patchArea)
+	lf.locks[unit].RUnlock()
 	return r
 }
 
@@ -69,9 +98,121 @@ func (lf *LockedForest) Radiance(patch int, p bintree.Point, patchArea float64) 
 // mutation (i.e. after Run returns).
 func (lf *LockedForest) Forest() *bintree.Forest { return lf.forest }
 
-// Run executes the shared-memory simulation: cfg.Workers goroutines share
-// the scene and the locked forest, splitting cfg.Core.Photons between them
-// (Figure 5.2's "for iphot = 1 to nphot/nprocessors" per processor).
+// chunkQueue deals out photon chunks: a worker that finishes early steals
+// the next unclaimed chunk instead of idling behind a static partition.
+type chunkQueue struct {
+	next    atomic.Int64
+	chunks  int64
+	size    int64
+	photons int64
+}
+
+// take claims the next chunk, returning its index and photon range.
+func (q *chunkQueue) take() (idx, lo, hi int64, ok bool) {
+	idx = q.next.Add(1) - 1
+	if idx >= q.chunks {
+		return 0, 0, 0, false
+	}
+	lo = idx * q.size
+	hi = lo + q.size
+	if hi > q.photons {
+		hi = q.photons
+	}
+	return idx, lo, hi, true
+}
+
+// merger commits completed chunk buffers into the forest in chunk-index
+// order. Whichever worker completes the frontier chunk takes the merge
+// baton and drains every consecutive ready chunk; late chunks park their
+// buffer and return to tracing. In-order commitment is what makes every
+// tree see its tallies in exactly the serial engine's order.
+//
+// Parking is bounded: a worker whose chunk is more than window chunks
+// ahead of the frontier blocks until the frontier catches up, so the
+// buffered-but-unmerged tallies can never exceed ~window chunks even when
+// tracing outruns the single merge baton (backpressure, not OOM).
+type merger struct {
+	mu       sync.Mutex
+	frontier sync.Cond // signaled whenever next advances
+	pending  map[int64]mergeChunk
+	next     int64
+	window   int64
+	applying bool
+	lf       *LockedForest
+	splits   int64
+	done     int64
+	total    int64
+	progress func(done, total int64)
+}
+
+type mergeChunk struct {
+	photons int64
+	buf     []core.Tally
+}
+
+// commit parks chunk idx's buffer and, if idx completes the in-order
+// frontier, applies every consecutive ready chunk under the per-tree locks.
+func (m *merger) commit(idx, photons int64, buf []core.Tally) {
+	m.mu.Lock()
+	// Backpressure: the frontier chunk itself never waits, so the baton
+	// always has work and the wait always terminates.
+	for idx >= m.next+m.window {
+		m.frontier.Wait()
+	}
+	m.pending[idx] = mergeChunk{photons: photons, buf: buf}
+	if m.applying {
+		m.mu.Unlock()
+		return
+	}
+	m.applying = true
+	for {
+		c, ok := m.pending[m.next]
+		if !ok {
+			break
+		}
+		delete(m.pending, m.next)
+		m.mu.Unlock()
+		splits := m.apply(c.buf)
+		m.mu.Lock()
+		m.splits += splits
+		m.done += c.photons
+		m.next++
+		m.frontier.Broadcast()
+		if m.progress != nil {
+			done := m.done
+			m.mu.Unlock()
+			m.progress(done, m.total) // outside the lock: callback may query
+			m.mu.Lock()
+		}
+	}
+	m.applying = false
+	m.mu.Unlock()
+}
+
+// apply flushes one chunk's deposits: consecutive tallies bound for the
+// same tree are applied under a single write-lock hold.
+func (m *merger) apply(buf []core.Tally) (splits int64) {
+	forest := m.lf.forest
+	for i := 0; i < len(buf); {
+		unit := forest.UnitOf(int(buf[i].Patch), buf[i].Point)
+		j := i + 1
+		for j < len(buf) && forest.UnitOf(int(buf[j].Patch), buf[j].Point) == unit {
+			j++
+		}
+		m.lf.locks[unit].Lock()
+		for ; i < j; i++ {
+			if forest.AddToUnit(unit, buf[i].Point, buf[i].Power) {
+				splits++
+			}
+		}
+		m.lf.locks[unit].Unlock()
+	}
+	return splits
+}
+
+// Run executes the shared-memory simulation on the buffered, contention-free
+// path: cfg.Workers goroutines steal photon chunks, trace them lock-free
+// into private buffers, and merge in order.
 func Run(scene *scenes.Scene, cfg Config) (*core.Result, error) {
 	if cfg.Workers <= 0 {
 		return nil, fmt.Errorf("shared: Workers must be positive, got %d", cfg.Workers)
@@ -80,15 +221,90 @@ func Run(scene *scenes.Scene, cfg Config) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	binCfg := sim.Config().Bin
-	lf := NewLockedForest(len(scene.Geom.Patches), binCfg)
+	coreCfg := sim.Config() // normalized
+	chunk := cfg.ChunkSize
+	if chunk <= 0 {
+		chunk = 512
+	}
+	lf := NewLockedForestSectioned(len(scene.Geom.Patches), coreCfg.Sections, coreCfg.Bin)
+	queue := &chunkQueue{
+		chunks:  (coreCfg.Photons + chunk - 1) / chunk,
+		size:    chunk,
+		photons: coreCfg.Photons,
+	}
+	m := &merger{
+		pending: make(map[int64]mergeChunk),
+		// Generous window: workers only ever block when tracing outruns
+		// the merge baton by several full rounds.
+		window:   max(int64(cfg.Workers)*4, 16),
+		lf:       lf,
+		total:    coreCfg.Photons,
+		progress: cfg.Progress,
+	}
+	m.frontier.L = &m.mu
+
+	statsCh := make(chan core.Stats, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var st core.Stats
+			for {
+				idx, lo, hi, ok := queue.take()
+				if !ok {
+					break
+				}
+				// Private per-worker buffer: the trace loop touches no
+				// shared state at all.
+				buf := make([]core.Tally, 0, (hi-lo)*3)
+				deliver := func(t core.Tally) { buf = append(buf, t) }
+				for i := lo; i < hi; i++ {
+					sim.TracePhotonFunc(core.PhotonStream(coreCfg.Seed, i), &st, deliver)
+				}
+				m.commit(idx, hi-lo, buf)
+			}
+			statsCh <- st
+		}()
+	}
+	wg.Wait()
+	close(statsCh)
+
+	var total core.Stats
+	for st := range statsCh {
+		total.Add(st)
+	}
+	total.BinSplits = m.splits
+	return &core.Result{
+		Scene:          scene,
+		Forest:         lf.Forest(),
+		Stats:          total,
+		EmittedPhotons: total.PhotonsEmitted,
+	}, nil
+}
+
+// RunLocked executes the seed shared-memory algorithm (Figure 5.2):
+// cfg.Workers goroutines on static leapfrogged substreams share the locked
+// forest, every tally taking the owning tree's write lock. Retained as the
+// paper-faithful baseline and as BenchmarkSharedContention's reference —
+// this is the path whose lock contention the buffered Run removes.
+func RunLocked(scene *scenes.Scene, cfg Config) (*core.Result, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("shared: Workers must be positive, got %d", cfg.Workers)
+	}
+	sim, err := core.NewSimulator(scene, cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	coreCfg := sim.Config()
+	lf := NewLockedForestSectioned(len(scene.Geom.Patches), coreCfg.Sections, coreCfg.Bin)
 
 	// Leapfrog the global stream into per-worker disjoint substreams.
-	streams := rng.Leapfrog(rng.New(cfg.Core.Seed), cfg.Workers)
+	streams := rng.Leapfrog(rng.New(coreCfg.Seed), cfg.Workers)
 
-	// Distribute photons, remainder to the low ranks.
-	per := cfg.Core.Photons / int64(cfg.Workers)
-	rem := cfg.Core.Photons % int64(cfg.Workers)
+	// Distribute photons statically, remainder to the low ranks.
+	per := coreCfg.Photons / int64(cfg.Workers)
+	rem := coreCfg.Photons % int64(cfg.Workers)
 
 	statsCh := make(chan core.Stats, cfg.Workers)
 	var wg sync.WaitGroup

@@ -64,9 +64,9 @@ func TestForestConservation(t *testing.T) {
 }
 
 func TestMatchesSerialStatistically(t *testing.T) {
-	// The shared engine is the same physics on different substreams; its
-	// mean path length must match the serial engine within Monte Carlo
-	// noise.
+	// Sanity guard beneath the exact-equality tests: even if the canonical
+	// ordering ever changed, the physics must match serial within Monte
+	// Carlo noise.
 	s := quickScene(t)
 	serial, err := core.Run(s, core.DefaultConfig(40000))
 	if err != nil {
@@ -82,29 +82,107 @@ func TestMatchesSerialStatistically(t *testing.T) {
 	}
 }
 
-func TestWorkersUseDisjointStreams(t *testing.T) {
-	// With equal seeds but different worker counts, the engines must not
-	// produce identical per-photon sequences (streams are partitioned), yet
-	// totals agree statistically. Here we just check the partition: the
-	// result with 2 workers differs from 1 worker in raw stats.
+func TestWorkerCountInvariance(t *testing.T) {
+	// The buffered engine's contract: per-photon substreams plus in-order
+	// chunk merging make the result a pure function of (seed, photons) —
+	// bit-identical stats AND forest at any worker count and schedule.
 	s := quickScene(t)
-	one, _ := Run(s, Config{Core: core.DefaultConfig(5000), Workers: 1})
-	two, _ := Run(s, Config{Core: core.DefaultConfig(5000), Workers: 2})
-	if one.Stats == two.Stats {
-		t.Fatal("1-worker and 2-worker runs produced identical stats; streams not partitioned")
+	ref, err := Run(s, Config{Core: core.DefaultConfig(5000), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		res, err := Run(s, Config{Core: core.DefaultConfig(5000), Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats != ref.Stats {
+			t.Fatalf("workers=%d stats diverge:\n%+v\n%+v", workers, res.Stats, ref.Stats)
+		}
+		if res.Forest.Fingerprint() != ref.Forest.Fingerprint() {
+			t.Fatalf("workers=%d forest diverges from 1-worker forest", workers)
+		}
 	}
 }
 
 func TestSingleWorkerMatchesSerialExactly(t *testing.T) {
-	// One worker with the same seed is the serial algorithm.
+	// One worker with the same seed is the serial algorithm — forest
+	// included, down to floating-point bits.
 	s := quickScene(t)
 	serial, _ := core.Run(s, core.DefaultConfig(5000))
 	par, _ := Run(s, Config{Core: core.DefaultConfig(5000), Workers: 1})
 	if serial.Stats != par.Stats {
 		t.Fatalf("1-worker diverges from serial:\n%+v\n%+v", serial.Stats, par.Stats)
 	}
-	if serial.Forest.TotalLeaves() != par.Forest.TotalLeaves() {
+	if serial.Forest.Fingerprint() != par.Forest.Fingerprint() {
 		t.Fatal("1-worker forest differs from serial")
+	}
+}
+
+func TestLockedPathStillConserves(t *testing.T) {
+	// The retained Figure 5.2 baseline must stay correct even though Run
+	// superseded it: exact emission count and tally conservation.
+	s := quickScene(t)
+	res, err := RunLocked(s, Config{Core: core.DefaultConfig(8000), Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PhotonsEmitted != 8000 {
+		t.Fatalf("emitted %d, want 8000", res.Stats.PhotonsEmitted)
+	}
+	want := res.Stats.PhotonsEmitted + res.Stats.Reflections
+	if got := res.Forest.TotalPhotons(); got != want {
+		t.Fatalf("forest tallies %d, want %d", got, want)
+	}
+	if _, err := RunLocked(s, Config{Core: core.DefaultConfig(10), Workers: 0}); err == nil {
+		t.Fatal("zero workers accepted by RunLocked")
+	}
+}
+
+func TestProgressMonotonicAndComplete(t *testing.T) {
+	s := quickScene(t)
+	var mu sync.Mutex
+	var calls []int64
+	cfg := Config{Core: core.DefaultConfig(4000), Workers: 4, ChunkSize: 250}
+	cfg.Progress = func(done, total int64) {
+		mu.Lock()
+		defer mu.Unlock()
+		if total != 4000 {
+			t.Errorf("progress total %d, want 4000", total)
+		}
+		calls = append(calls, done)
+	}
+	if _, err := Run(s, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) == 0 || calls[len(calls)-1] != 4000 {
+		t.Fatalf("progress never reached completion: %v", calls)
+	}
+	for i := 1; i < len(calls); i++ {
+		if calls[i] <= calls[i-1] {
+			t.Fatalf("progress not strictly increasing: %v", calls)
+		}
+	}
+}
+
+func TestSectionedSharedMatchesSectionedSerial(t *testing.T) {
+	// With the same Sections the shared forest is the serial forest.
+	s := quickScene(t)
+	cfg := core.DefaultConfig(6000)
+	cfg.Sections = 4
+	serial, err := core.Run(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(s, Config{Core: cfg, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Forest.Cells() != 4 {
+		t.Fatalf("shared forest cells = %d, want 4", par.Forest.Cells())
+	}
+	if serial.Forest.Fingerprint() != par.Forest.Fingerprint() {
+		t.Fatal("sectioned shared forest differs from sectioned serial forest")
 	}
 }
 

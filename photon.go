@@ -11,14 +11,23 @@
 // database: render any viewpoint afterwards with a single-bounce ray trace,
 // no recomputation.
 //
-// Three engines share the same physics:
+// Four engines share the same physics behind one internal Engine interface:
 //
 //   - EngineSerial: the reference single-threaded tracer.
-//   - EngineShared: goroutine workers against one locked forest
-//     (the paper's shared-memory algorithm).
+//   - EngineShared: work-stealing goroutine workers tallying into private
+//     buffers, merged in order into the shared forest (a contention-free
+//     evolution of the paper's locked shared-memory algorithm).
 //   - EngineDistributed: rank-per-goroutine message passing with a
 //     partitioned forest, Best-Fit load balancing and batched all-to-all
 //     tally exchange (the paper's MPI algorithm).
+//   - EngineGeo: geometry-distributed space ownership with photon-flight
+//     forwarding (the dissertation's chapter-6 design).
+//
+// Serial, shared and distributed are conformant: with the same Config they
+// produce bit-identical statistics and bit-identical bin forests at any
+// worker or rank count, because every photon draws from a private
+// per-photon random substream and every engine applies each bin tree's
+// tallies in photon-index order.
 //
 // Quick start:
 //
@@ -31,13 +40,14 @@ import (
 	"fmt"
 	"image"
 	"io"
+	"os"
 
 	"repro/internal/answer"
 	"repro/internal/bintree"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/engine"
 	"repro/internal/scenes"
-	"repro/internal/shared"
 	"repro/internal/vecmath"
 	"repro/internal/view"
 )
@@ -57,7 +67,10 @@ type Camera = view.Camera
 // RenderOptions tunes tone mapping.
 type RenderOptions = view.Options
 
-// Engine selects a parallelization strategy.
+// Engine selects a parallelization strategy. Every engine implements the
+// same internal engine.Engine interface; serial, shared and distributed
+// are conformant — identical statistics and bit-identical forests for the
+// same Config — while geo trades forest-layout identity for scalability.
 type Engine int
 
 // Available engines.
@@ -65,6 +78,10 @@ const (
 	EngineSerial Engine = iota
 	EngineShared
 	EngineDistributed
+	// EngineGeo is the geometry-distributed chapter-6 engine: space is
+	// partitioned into octree root regions and photon flights migrate
+	// between region owners instead of tallies between forest owners.
+	EngineGeo
 )
 
 // String implements fmt.Stringer.
@@ -76,8 +93,25 @@ func (e Engine) String() string {
 		return "shared"
 	case EngineDistributed:
 		return "distributed"
+	case EngineGeo:
+		return "geo"
 	}
 	return "unknown"
+}
+
+// impl resolves the public selector to the internal engine implementation.
+func (e Engine) impl() (engine.Engine, error) {
+	switch e {
+	case EngineSerial:
+		return engine.Serial, nil
+	case EngineShared:
+		return engine.Shared, nil
+	case EngineDistributed:
+		return engine.Distributed, nil
+	case EngineGeo:
+		return engine.Geo, nil
+	}
+	return nil, fmt.Errorf("photon: unknown engine %v", e)
 }
 
 // Balance selects the distributed engine's forest-ownership strategy
@@ -112,7 +146,18 @@ type Config struct {
 	Balance Balance
 	// SplitSigma overrides the 3σ bin-split criterion (0 = default 3).
 	SplitSigma float64
+	// Sections is the per-axis (s,t) section count per defining polygon
+	// (Sections² trees per polygon). 0 keeps each engine's default: one
+	// tree per polygon for serial and shared, 4×4 sections for
+	// distributed. Serial, shared and distributed runs at the same
+	// explicit Sections produce bit-identical forests; EngineGeo owns
+	// whole polygons and rejects Sections > 1.
+	Sections int
 }
+
+// Progress is a streaming completion callback: photons fully finished so
+// far, out of total. Calls are monotone in done and end at done == total.
+type Progress = engine.ProgressFunc
 
 // Stats are the simulation counters.
 type Stats = core.Stats
@@ -125,6 +170,14 @@ type Solution struct {
 
 // Stats returns the simulation counters.
 func (s *Solution) Stats() Stats { return s.stats }
+
+// Summary is the compact ==-comparable digest of a solution's radiance
+// database; see the answer package.
+type Summary = answer.Summary
+
+// Summary digests the solution: equal summaries mean bit-identical
+// forests. This is the conformance matrix's equality.
+func (s *Solution) Summary() Summary { return s.inner.Summarize() }
 
 // SceneName returns the scene the solution was computed for.
 func (s *Solution) SceneName() string { return s.inner.SceneName }
@@ -186,9 +239,21 @@ func SceneByName(name string) (*Scene, error) {
 func SceneNames() []string { return scenes.Names() }
 
 // Simulate runs the global illumination simulation and returns the answer.
+// It is a thin shim over SimulateProgress without a callback.
 func Simulate(scene *Scene, cfg Config) (*Solution, error) {
+	return SimulateProgress(scene, cfg, nil)
+}
+
+// SimulateProgress is Simulate with streaming completion callbacks:
+// progress (which may be nil) receives the photons finished so far and the
+// total while the chosen engine runs.
+func SimulateProgress(scene *Scene, cfg Config, progress Progress) (*Solution, error) {
 	if cfg.Photons <= 0 {
 		return nil, fmt.Errorf("photon: Config.Photons must be positive")
+	}
+	eng, err := cfg.Engine.impl()
+	if err != nil {
+		return nil, err
 	}
 	coreCfg := core.DefaultConfig(cfg.Photons)
 	if cfg.Seed != 0 {
@@ -197,37 +262,24 @@ func Simulate(scene *Scene, cfg Config) (*Solution, error) {
 	if cfg.SplitSigma > 0 {
 		coreCfg.Bin.SplitSigma = cfg.SplitSigma
 	}
+	if cfg.Sections > 0 {
+		coreCfg.Sections = cfg.Sections
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = 4
 	}
-
-	var res *core.Result
-	var err error
-	switch cfg.Engine {
-	case EngineSerial:
-		res, err = core.Run(scene, coreCfg)
-	case EngineShared:
-		res, err = shared.Run(scene, shared.Config{Core: coreCfg, Workers: workers})
-	case EngineDistributed:
-		dcfg := dist.DefaultConfig(cfg.Photons, workers)
-		dcfg.Core = coreCfg
-		dcfg.Balance = cfg.Balance
-		if cfg.BatchSize > 0 {
-			dcfg.BatchSize = cfg.BatchSize
-		}
-		var dres *dist.Result
-		dres, err = dist.Run(scene, dcfg)
-		if dres != nil {
-			res = dres.Result
-		}
-	default:
-		return nil, fmt.Errorf("photon: unknown engine %v", cfg.Engine)
-	}
+	sol, err := eng.Run(scene, engine.Config{
+		Core:      coreCfg,
+		Workers:   workers,
+		BatchSize: cfg.BatchSize,
+		Balance:   cfg.Balance,
+		Progress:  progress,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &Solution{inner: answer.FromResult(res), stats: res.Stats}, nil
+	return &Solution{inner: answer.FromResult(sol.Result), stats: sol.Stats}, nil
 }
 
 // Render produces the image seen by cam from the solution. The scene must
@@ -244,6 +296,20 @@ func RenderOpts(scene *Scene, sol *Solution, cam Camera, opts RenderOptions) (*i
 
 // WritePNG encodes an image as PNG.
 func WritePNG(w io.Writer, img image.Image) error { return view.WritePNG(w, img) }
+
+// WritePNGFile encodes an image as PNG to path, surfacing the Close error
+// too — on many filesystems that is where a failed write actually reports.
+func WritePNGFile(path string, img image.Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := view.WritePNG(f, img); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 // Radiance queries the solution directly: the outgoing radiance of
 // defining polygon patch at bilinear position (s,t) in direction (r²,θ) of

@@ -1,0 +1,150 @@
+package photon
+
+// The cross-engine conformance matrix: serial, shared (1/2/8 workers) and
+// distributed (1/2/4 ranks) must produce IDENTICAL answers — the same
+// simulation statistics and bit-identical bin forests — for every bundled
+// scene, at two photon counts. This is the strong form of the paper's
+// implicit claim that its parallelizations compute the same radiance
+// database as the sequential algorithm, and it is what licenses every
+// other test in the repository to validate physics on whichever engine is
+// cheapest.
+//
+// The guarantee rests on two mechanisms (see DESIGN.md):
+//   - per-photon random substreams: photon i's trajectory is a pure
+//     function of (seed, i), independent of which worker or rank traces it;
+//   - photon-order tally application: every engine applies each bin tree's
+//     tallies in photon-index order, so the adaptive splits evolve
+//     identically.
+//
+// Engines must run at equal Sections for forest identity (the sectioning
+// is part of the answer's shape): shared runs are compared against a
+// serial run at Sections=1, distributed runs against a serial run at
+// Sections=4 — each engine's natural default.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func conformanceCounts(t *testing.T) []int64 {
+	t.Helper()
+	if testing.Short() {
+		return []int64{2000}
+	}
+	return []int64{2000, 8000}
+}
+
+// runSummary executes one engine configuration and digests the answer.
+func runSummary(t *testing.T, sc *Scene, cfg Config) (Summary, Stats) {
+	t.Helper()
+	sol, err := Simulate(sc, cfg)
+	if err != nil {
+		t.Fatalf("%v: %v", cfg.Engine, err)
+	}
+	return sol.Summary(), sol.Stats()
+}
+
+func TestEngineConformanceMatrix(t *testing.T) {
+	for _, sceneName := range SceneNames() {
+		sc, err := SceneByName(sceneName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, photons := range conformanceCounts(t) {
+			t.Run(fmt.Sprintf("%s/%d", sceneName, photons), func(t *testing.T) {
+				// Reference answers: the serial engine at each sectioning.
+				refSum1, refStats1 := runSummary(t, sc, Config{
+					Photons: photons, Engine: EngineSerial, Sections: 1})
+				refSum4, refStats4 := runSummary(t, sc, Config{
+					Photons: photons, Engine: EngineSerial, Sections: 4})
+				// Trajectories are sectioning-independent; only the
+				// forest-evolution counter (BinSplits) may differ between
+				// the two serial references.
+				traj1, traj4 := refStats1, refStats4
+				traj1.BinSplits, traj4.BinSplits = 0, 0
+				if traj1 != traj4 {
+					t.Fatalf("serial trajectories depend on sectioning:\n%+v\n%+v", refStats1, refStats4)
+				}
+
+				type engineCase struct {
+					label    string
+					refSum   Summary
+					refStats Stats
+					cfg      Config
+				}
+				var cases []engineCase
+				for _, workers := range []int{1, 2, 8} {
+					cases = append(cases, engineCase{
+						label:    fmt.Sprintf("shared-w%d", workers),
+						refSum:   refSum1,
+						refStats: refStats1,
+						cfg: Config{Photons: photons, Engine: EngineShared,
+							Workers: workers, Sections: 1},
+					})
+				}
+				for _, ranks := range []int{1, 2, 4} {
+					cases = append(cases, engineCase{
+						label:    fmt.Sprintf("distributed-r%d", ranks),
+						refSum:   refSum4,
+						refStats: refStats4,
+						cfg: Config{Photons: photons, Engine: EngineDistributed,
+							Workers: ranks, Sections: 4},
+					})
+				}
+				for _, c := range cases {
+					sum, stats := runSummary(t, sc, c.cfg)
+					if stats != c.refStats {
+						t.Errorf("%s: stats diverge from serial:\nserial: %+v\n%s: %+v",
+							c.label, c.refStats, c.label, stats)
+					}
+					if sum != c.refSum {
+						t.Errorf("%s: answer diverges from serial:\nserial: %+v\n%s: %+v",
+							c.label, c.refSum, c.label, sum)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestConformanceAcrossBatchSizes pins that the distributed engine's
+// communication schedule is invisible in the answer: batch size changes
+// traffic, never the forest.
+func TestConformanceAcrossBatchSizes(t *testing.T) {
+	sc, err := SceneByName("quickstart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := runSummary(t, sc, Config{Photons: 4000, Engine: EngineSerial, Sections: 4})
+	for _, batch := range []int{50, 500, 4000} {
+		sum, _ := runSummary(t, sc, Config{Photons: 4000, Engine: EngineDistributed,
+			Workers: 3, BatchSize: batch, Sections: 4})
+		if sum != ref {
+			t.Errorf("batch=%d: answer diverges from serial:\n%+v\n%+v", batch, ref, sum)
+		}
+	}
+}
+
+// TestGeoEngineTrajectoryConformance: the geometry-distributed engine
+// shares the per-photon trajectories (every counter except the
+// forest-evolution-dependent BinSplits matches serial exactly) and
+// conserves every tally, but assembles its forest in arrival order, so
+// bin layout is not part of its contract.
+func TestGeoEngineTrajectoryConformance(t *testing.T) {
+	sc, err := SceneByName("quickstart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, refStats := runSummary(t, sc, Config{Photons: 5000, Engine: EngineSerial})
+	for _, ranks := range []int{1, 2, 4} {
+		sum, stats := runSummary(t, sc, Config{Photons: 5000, Engine: EngineGeo, Workers: ranks})
+		refTraj, traj := refStats, stats
+		refTraj.BinSplits, traj.BinSplits = 0, 0
+		if traj != refTraj {
+			t.Errorf("geo-r%d: trajectory stats diverge from serial:\n%+v\n%+v", ranks, refTraj, traj)
+		}
+		if want := stats.PhotonsEmitted + stats.Reflections; sum.Tallies != want {
+			t.Errorf("geo-r%d: forest holds %d tallies, want %d", ranks, sum.Tallies, want)
+		}
+	}
+}

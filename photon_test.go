@@ -36,7 +36,7 @@ func TestAllEnginesAgreeStatistically(t *testing.T) {
 		t.Fatal(err)
 	}
 	var paths []float64
-	for _, e := range []Engine{EngineSerial, EngineShared, EngineDistributed} {
+	for _, e := range []Engine{EngineSerial, EngineShared, EngineDistributed, EngineGeo} {
 		sol, err := Simulate(sc, Config{Photons: 30000, Engine: e, Workers: 4})
 		if err != nil {
 			t.Fatalf("%v: %v", e, err)
@@ -161,7 +161,7 @@ func TestDistributedBalanceThreading(t *testing.T) {
 func TestEngineString(t *testing.T) {
 	for e, want := range map[Engine]string{
 		EngineSerial: "serial", EngineShared: "shared", EngineDistributed: "distributed",
-		Engine(42): "unknown",
+		EngineGeo: "geo", Engine(42): "unknown",
 	} {
 		if e.String() != want {
 			t.Errorf("Engine(%d) = %q", e, e.String())
