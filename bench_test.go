@@ -8,12 +8,17 @@ package photon
 
 import (
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/scenes"
+	"repro/internal/server"
 	"repro/internal/shared"
 )
 
@@ -210,6 +215,91 @@ func BenchmarkSharedContention(b *testing.B) {
 			})
 		}
 	}
+}
+
+// --- View-stage (tile renderer + server) benchmarks ---
+
+// BenchmarkRenderWorkers measures the tile-parallel viewer at 1/4/8
+// workers over one answer: the stage-two counterpart of
+// BenchmarkSharedContention. The image is bit-identical at every worker
+// count (pinned by TestRenderWorkerConformance), so the comparison is
+// purely throughput; pixels/s makes the scaling directly readable.
+func BenchmarkRenderWorkers(b *testing.B) {
+	sc, err := SceneByName("quickstart")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sol, err := Simulate(sc, Config{Photons: 50000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cam := Camera{
+		Eye: V(2, 0.3, 1.5), LookAt: V(2, 4, 1.2), Up: V(0, 0, 1),
+		FovY: 70, Width: 320, Height: 240,
+	}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RenderOpts(sc, sol, cam, RenderOptions{
+					Exposure: 2, Workers: workers, Samples: 2,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			pixels := float64(cam.Width*cam.Height) * float64(b.N)
+			b.ReportMetric(pixels/b.Elapsed().Seconds(), "pixels/s")
+		})
+	}
+}
+
+// BenchmarkServeThroughput measures photon-serve end to end: concurrent
+// HTTP clients rendering viewpoints from one LRU-cached answer file. The
+// first request pays the load; every subsequent render is pure reads over
+// the resident forest, so throughput is the tile renderer plus PNG
+// encoding plus HTTP, with zero lock traffic between requests.
+func BenchmarkServeThroughput(b *testing.B) {
+	dir := b.TempDir()
+	sc, err := SceneByName("quickstart")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sol, err := Simulate(sc, Config{Photons: 30000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sol.SaveFile(filepath.Join(dir, "bench.pbf")); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(server.Config{AnswerDir: dir, RenderWorkers: 1}))
+	defer ts.Close()
+	url := ts.URL + "/render?answer=bench.pbf&w=160&h=120"
+
+	// Warm the cache outside the timed region.
+	resp, err := http.Get(url)
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("warmup status %d", resp.StatusCode)
+	}
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := http.Get(url)
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 }
 
 // BenchmarkAblationLockStriping measures the shared engine with 1 worker

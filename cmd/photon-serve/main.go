@@ -1,0 +1,79 @@
+// photon-serve serves rendered viewpoints over HTTP from Photon answer
+// files — stage two of the paper's pipeline as a long-running service.
+// Simulate once with photon-sim, then serve any number of viewpoints to
+// any number of clients; answers are held in a bounded LRU cache and every
+// render is a read-only, tile-parallel pass over the radiance database.
+//
+// Usage:
+//
+//	photon-sim -scene cornell-box -photons 1000000 -o answers/cornell.pbf
+//	photon-serve -addr :8080 -answers answers
+//	curl 'localhost:8080/render?answer=cornell.pbf&eye=2.75,0.5,2.75&lookat=2.75,5,2.75&w=640&h=480' > view.png
+//
+// Built-in scenes work without a pre-computed answer file (simulated on
+// first request): /render?scene=quickstart&... — see /scenes for names.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("photon-serve: ")
+
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		answers       = flag.String("answers", ".", "directory of .pbf answer files (empty disables)")
+		cacheSize     = flag.Int("cache", 8, "max resident solutions (LRU)")
+		simPhotons    = flag.Int64("photons", 200000, "photon budget for on-demand scene simulation")
+		simWorkers    = flag.Int("sim-workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		renderWorkers = flag.Int("render-workers", 0, "tile-render workers per request (0 = GOMAXPROCS)")
+		maxSamples    = flag.Int("max-samples", 4, "max per-axis supersampling a request may ask for")
+		quiet         = flag.Bool("q", false, "suppress per-request log lines")
+	)
+	flag.Parse()
+
+	cfg := server.Config{
+		AnswerDir:     *answers,
+		CacheSize:     *cacheSize,
+		SimPhotons:    *simPhotons,
+		SimWorkers:    *simWorkers,
+		RenderWorkers: *renderWorkers,
+		MaxSamples:    *maxSamples,
+	}
+	if !*quiet {
+		cfg.Log = log.New(os.Stderr, "photon-serve: ", 0)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(cfg),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("serving on %s (answers from %q, cache %d, %d photons for on-demand scenes)",
+		*addr, *answers, *cacheSize, *simPhotons)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	log.Printf("shut down")
+}

@@ -10,7 +10,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -47,6 +46,9 @@ func main() {
 		width      = flag.Int("width", 640, "image width")
 		height     = flag.Int("height", 480, "image height")
 		exposure   = flag.Float64("exposure", 0, "exposure (0 = auto)")
+		workers    = flag.Int("render-workers", 0, "tile-render workers (0 = GOMAXPROCS); output is identical at any count")
+		samples    = flag.Int("samples", 1, "per-axis supersampling: samples² jittered rays per pixel")
+		sampleSeed = flag.Int64("sample-seed", 1, "seed for the supersampling jitter substreams")
 		out        = flag.String("o", "view.png", "output PNG")
 	)
 	flag.Parse()
@@ -77,7 +79,12 @@ func main() {
 		FovY: *fov, Width: *width, Height: *height,
 	}
 	start := time.Now()
-	img, err := photon.RenderOpts(scene, sol, cam, photon.RenderOptions{Exposure: *exposure})
+	img, err := photon.RenderOpts(scene, sol, cam, photon.RenderOptions{
+		Exposure: *exposure,
+		Workers:  *workers,
+		Samples:  *samples,
+		Seed:     *sampleSeed,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,12 +92,9 @@ func main() {
 		*width, *height, sol.SceneName(), sol.EmittedPhotons(),
 		time.Since(start).Round(time.Millisecond))
 
-	f, err := os.Create(*out)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	if err := photon.WritePNG(f, img); err != nil {
+	// WritePNGFile surfaces the Close error too — on many filesystems that
+	// is where a failed write actually reports.
+	if err := photon.WritePNGFile(*out, img); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)

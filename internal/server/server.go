@@ -1,0 +1,506 @@
+// Package server implements the photon-serve HTTP service: the paper's
+// two-stage pipeline as a rendering farm. Stage one (simulation) produces
+// durable answer files; this server keeps a bounded LRU cache of loaded
+// answers — each one a view-independent radiance database — and renders
+// any requested viewpoint on demand with the tile-parallel viewer. Because
+// a render only reads the forest, any number of requests against the same
+// answer proceed concurrently with no locking on the hot path, which is
+// exactly why the paper's answer-file design suits serving: simulate once,
+// view from millions of eyes.
+//
+// Endpoints:
+//
+//	GET /render?answer=FILE.pbf|scene=NAME&eye=x,y,z&lookat=x,y,z&up=x,y,z
+//	           &fov=F&w=W&h=H&samples=N&seed=S&exposure=E   → image/png
+//	GET /scenes   → JSON list of built-in scenes
+//	GET /healthz  → liveness + cache occupancy
+//	GET /statz    → request/render/cache counters and timing totals
+//
+// `answer` names a .pbf file inside Config.AnswerDir; `scene` names a
+// built-in scene, which is simulated once on first request (stage one run
+// lazily, Config.SimPhotons photons on the shared engine) and then served
+// from the same cache. Responses carry X-Cache (HIT/MISS) and X-Render-Ms
+// timing headers.
+package server
+
+import (
+	"bytes"
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/answer"
+	"repro/internal/bintree"
+	"repro/internal/core"
+	"repro/internal/scenes"
+	"repro/internal/shared"
+	"repro/internal/vecmath"
+	"repro/internal/view"
+)
+
+// Config parameterizes the server.
+type Config struct {
+	// AnswerDir is the directory `answer=` requests are resolved inside;
+	// empty disables answer-file serving (scene= still works).
+	AnswerDir string
+	// CacheSize bounds the number of resident solutions (default 8).
+	CacheSize int
+	// SimPhotons is the photon budget for on-demand simulation of built-in
+	// scenes (default 200000).
+	SimPhotons int64
+	// SimWorkers is the shared-engine worker count for on-demand
+	// simulation (default runtime.GOMAXPROCS(0)).
+	SimWorkers int
+	// RenderWorkers is the tile-renderer worker count per request
+	// (default: the viewer's own default, GOMAXPROCS).
+	RenderWorkers int
+	// MaxPixels caps w*h per request (default 2 097 152, a 2 MP frame).
+	MaxPixels int
+	// MaxSamples caps the per-axis supersampling factor (default 4).
+	MaxSamples int
+	// Log, when non-nil, receives one line per request.
+	Log *log.Logger
+}
+
+func (c *Config) normalize() {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 8
+	}
+	if c.SimPhotons <= 0 {
+		c.SimPhotons = 200000
+	}
+	if c.SimWorkers <= 0 {
+		c.SimWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxPixels <= 0 {
+		c.MaxPixels = 2 << 20
+	}
+	if c.MaxSamples <= 0 {
+		c.MaxSamples = 4
+	}
+}
+
+// Metrics are the server's telemetry counters, all monotone.
+type Metrics struct {
+	Requests    atomic.Int64 // every HTTP request
+	Renders     atomic.Int64 // successful /render responses
+	CacheHits   atomic.Int64 // /render served from a resident solution
+	CacheMisses atomic.Int64 // /render that had to load or simulate
+	Errors4xx   atomic.Int64
+	Errors5xx   atomic.Int64
+	RenderNanos atomic.Int64 // cumulative render wall time
+}
+
+// entry is one cached solution. The sync.Once collapses concurrent first
+// requests for the same key into a single load/simulation; late arrivals
+// block on the Once and then share the resident forest.
+type entry struct {
+	key  string
+	once sync.Once
+
+	scene   *scenes.Scene
+	forest  *bintree.Forest
+	emitted int64
+	err     error
+}
+
+// Server is the photon-serve HTTP handler.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	start   time.Time
+	metrics Metrics
+
+	// LRU solution cache: order's front is most recently used.
+	mu    sync.Mutex
+	order *list.List
+	items map[string]*list.Element
+}
+
+// New constructs a Server; use it directly as an http.Handler.
+func New(cfg Config) *Server {
+	cfg.normalize()
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+	s.mux.HandleFunc("/render", s.handleRender)
+	s.mux.HandleFunc("/scenes", s.handleScenes)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statz", s.handleStatz)
+	return s
+}
+
+// MetricsSnapshot returns the current counters (for tests and benches).
+func (s *Server) MetricsSnapshot() map[string]int64 {
+	return map[string]int64{
+		"requests":     s.metrics.Requests.Load(),
+		"renders":      s.metrics.Renders.Load(),
+		"cache_hits":   s.metrics.CacheHits.Load(),
+		"cache_misses": s.metrics.CacheMisses.Load(),
+		"errors_4xx":   s.metrics.Errors4xx.Load(),
+		"errors_5xx":   s.metrics.Errors5xx.Load(),
+		"render_ms":    s.metrics.RenderNanos.Load() / 1e6,
+	}
+}
+
+// statusWriter records the response code for telemetry and logging.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP dispatches with request counting, error-class telemetry and
+// optional per-request logging.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Requests.Add(1)
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		s.metrics.Errors4xx.Add(1)
+		http.Error(w, "only GET is supported", http.StatusMethodNotAllowed)
+		return
+	}
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	switch {
+	case sw.code >= 500:
+		s.metrics.Errors5xx.Add(1)
+	case sw.code >= 400:
+		s.metrics.Errors4xx.Add(1)
+	}
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf("%s %s -> %d (%v)", r.Method, r.URL.RequestURI(), sw.code,
+			time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// lookup returns the cache entry for key, creating (and LRU-evicting) as
+// needed. found reports whether the entry was already resident — the
+// cache-hit signal, even if its load is still in flight on another request.
+func (s *Server) lookup(key string) (e *entry, found bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.order.MoveToFront(el)
+		return el.Value.(*entry), true
+	}
+	e = &entry{key: key}
+	s.items[key] = s.order.PushFront(e)
+	for s.order.Len() > s.cfg.CacheSize {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.items, oldest.Value.(*entry).key)
+	}
+	return e, false
+}
+
+// forget drops a failed entry so a later request retries the load (e.g.
+// after the missing file appears) instead of serving a cached error.
+func (s *Server) forget(e *entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[e.key]; ok && el.Value.(*entry) == e {
+		s.order.Remove(el)
+		delete(s.items, e.key)
+	}
+}
+
+// answerPath resolves name inside AnswerDir, rejecting traversal.
+func (s *Server) answerPath(name string) (string, error) {
+	if s.cfg.AnswerDir == "" {
+		return "", fmt.Errorf("answer-file serving is disabled (no answer directory configured)")
+	}
+	clean := filepath.Clean(filepath.FromSlash(name))
+	if clean == "." || filepath.IsAbs(clean) || clean == ".." ||
+		strings.HasPrefix(clean, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("invalid answer name %q", name)
+	}
+	return filepath.Join(s.cfg.AnswerDir, clean), nil
+}
+
+// loadAnswer populates e from a .pbf answer file.
+func (e *entry) loadAnswer(path string) {
+	sol, err := answer.LoadFile(path)
+	if err != nil {
+		e.err = err
+		return
+	}
+	sc, err := sol.Scene()
+	if err != nil {
+		e.err = err
+		return
+	}
+	e.scene, e.forest, e.emitted = sc, sol.Forest, sol.EmittedPhotons
+}
+
+// simulateScene populates e by running stage one on a built-in scene.
+func (e *entry) simulateScene(name string, photons int64, workers int) {
+	ctor, ok := scenes.ByName(name)
+	if !ok {
+		e.err = fmt.Errorf("unknown scene %q (have %v)", name, scenes.Names())
+		return
+	}
+	sc, err := ctor()
+	if err != nil {
+		e.err = err
+		return
+	}
+	res, err := shared.Run(sc, shared.Config{Core: core.DefaultConfig(photons), Workers: workers})
+	if err != nil {
+		e.err = err
+		return
+	}
+	e.scene, e.forest, e.emitted = sc, res.Forest, res.EmittedPhotons
+}
+
+// badRequest writes a 400 with a plain-text reason.
+func badRequest(w http.ResponseWriter, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), http.StatusBadRequest)
+}
+
+// queryVec parses a "x,y,z" query parameter, using def when absent.
+func queryVec(q map[string][]string, key string, def vecmath.Vec3) (vecmath.Vec3, error) {
+	vs, ok := q[key]
+	if !ok || len(vs) == 0 {
+		return def, nil
+	}
+	parts := strings.Split(vs[0], ",")
+	if len(parts) != 3 {
+		return vecmath.Vec3{}, fmt.Errorf("%s: want x,y,z, got %q", key, vs[0])
+	}
+	var out [3]float64
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return vecmath.Vec3{}, fmt.Errorf("%s: %v", key, err)
+		}
+		out[i] = f
+	}
+	return vecmath.V(out[0], out[1], out[2]), nil
+}
+
+// queryFloat parses a float query parameter, using def when absent.
+func queryFloat(q map[string][]string, key string, def float64) (float64, error) {
+	vs, ok := q[key]
+	if !ok || len(vs) == 0 {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(vs[0], 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %v", key, err)
+	}
+	return f, nil
+}
+
+// queryInt parses an int query parameter, using def when absent.
+func queryInt(q map[string][]string, key string, def int) (int, error) {
+	vs, ok := q[key]
+	if !ok || len(vs) == 0 {
+		return def, nil
+	}
+	n, err := strconv.Atoi(vs[0])
+	if err != nil {
+		return 0, fmt.Errorf("%s: %v", key, err)
+	}
+	return n, nil
+}
+
+func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	answerName, sceneName := q.Get("answer"), q.Get("scene")
+	if (answerName == "") == (sceneName == "") {
+		badRequest(w, "exactly one of answer= or scene= is required")
+		return
+	}
+
+	// Camera and quality parameters; every present parameter must parse.
+	eye, err := queryVec(q, "eye", vecmath.V(2, 0.3, 1.5))
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	lookat, err := queryVec(q, "lookat", vecmath.V(2, 4, 1.2))
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	up, err := queryVec(q, "up", vecmath.V(0, 0, 1))
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	fov, err := queryFloat(q, "fov", 65)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	width, err := queryInt(q, "w", 320)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	height, err := queryInt(q, "h", 240)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	samples, err := queryInt(q, "samples", 1)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	seed, err := queryInt(q, "seed", 1)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	exposure, err := queryFloat(q, "exposure", 0)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	// Overflow-safe bound: width > MaxPixels/height, never width*height.
+	if width <= 0 || height <= 0 || width > s.cfg.MaxPixels/height {
+		badRequest(w, "image %dx%d out of bounds (max %d pixels)", width, height, s.cfg.MaxPixels)
+		return
+	}
+	if samples < 1 || samples > s.cfg.MaxSamples {
+		badRequest(w, "samples %d out of [1,%d]", samples, s.cfg.MaxSamples)
+		return
+	}
+	cam := view.Camera{
+		Eye: eye, LookAt: lookat, Up: up,
+		FovY: fov, Width: width, Height: height,
+	}
+	if err := cam.Validate(); err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+
+	// Resolve the solution through the LRU cache.
+	var key string
+	var fill func(*entry)
+	var notFound func(error) bool
+	if answerName != "" {
+		path, err := s.answerPath(answerName)
+		if err != nil {
+			badRequest(w, "%v", err)
+			return
+		}
+		key = "answer:" + path
+		fill = func(e *entry) { e.loadAnswer(path) }
+		notFound = os.IsNotExist
+	} else {
+		key = "scene:" + sceneName
+		fill = func(e *entry) { e.simulateScene(sceneName, s.cfg.SimPhotons, s.cfg.SimWorkers) }
+		notFound = func(err error) bool { return strings.Contains(err.Error(), "unknown scene") }
+	}
+	e, found := s.lookup(key)
+	s.countLookup(found)
+	e.once.Do(func() { fill(e) })
+	if e.err != nil {
+		s.forget(e)
+		code := http.StatusInternalServerError
+		if notFound(e.err) {
+			code = http.StatusNotFound
+		}
+		http.Error(w, e.err.Error(), code)
+		return
+	}
+	s.respondRender(w, r, e, found, cam, exposure, samples, int64(seed))
+}
+
+func (s *Server) countLookup(found bool) {
+	if found {
+		s.metrics.CacheHits.Add(1)
+	} else {
+		s.metrics.CacheMisses.Add(1)
+	}
+}
+
+// respondRender renders the cached solution and writes the PNG. The
+// render is pure reads over the forest, so concurrent requests against
+// the same entry need no synchronization.
+func (s *Server) respondRender(w http.ResponseWriter, r *http.Request, e *entry, cached bool,
+	cam view.Camera, exposure float64, samples int, seed int64) {
+	start := time.Now()
+	img, err := view.Render(e.scene, e.forest, cam, view.Options{
+		Exposure: exposure,
+		Workers:  s.cfg.RenderWorkers,
+		Samples:  samples,
+		Seed:     seed,
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	elapsed := time.Since(start)
+	s.metrics.RenderNanos.Add(int64(elapsed))
+
+	// Encode to a buffer first so an encoding failure can still 500
+	// instead of truncating a 200.
+	var buf bytes.Buffer
+	if err := view.WritePNG(&buf, img); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "image/png")
+	h.Set("Content-Length", strconv.Itoa(buf.Len()))
+	h.Set("X-Render-Ms", strconv.FormatInt(elapsed.Milliseconds(), 10))
+	if cached {
+		h.Set("X-Cache", "HIT")
+	} else {
+		h.Set("X-Cache", "MISS")
+	}
+	h.Set("X-Photons", strconv.FormatInt(e.emitted, 10))
+	s.metrics.Renders.Add(1)
+	if r.Method == http.MethodHead {
+		return
+	}
+	w.Write(buf.Bytes())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleScenes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"scenes": scenes.Names()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	resident := s.order.Len()
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{
+		"status":    "ok",
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+		"cached":    resident,
+	})
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.MetricsSnapshot())
+}

@@ -3,6 +3,7 @@ package view
 import (
 	"bytes"
 	"image"
+	"math"
 	"testing"
 
 	"repro/internal/core"
@@ -39,6 +40,10 @@ func TestCameraValidate(t *testing.T) {
 		{Width: 10, Height: 10, FovY: 0, LookAt: vecmath.V(1, 0, 0)},
 		{Width: 10, Height: 10, FovY: 200, LookAt: vecmath.V(1, 0, 0)},
 		{Width: 10, Height: 10, FovY: 60}, // eye == lookat
+		// Pixel-product bound, including a pair whose product overflows
+		// 32-bit ints: must reject, not wrap (or panic downstream).
+		{Width: 1 << 20, Height: 1 << 20, FovY: 60, LookAt: vecmath.V(1, 0, 0)},
+		{Width: 1 << 31, Height: 1 << 31, FovY: 60, LookAt: vecmath.V(1, 0, 0)},
 	}
 	for i, c := range bad {
 		if err := c.Validate(); err == nil {
@@ -144,6 +149,131 @@ func TestCeilingBrighterThanFloorShadows(t *testing.T) {
 	edge := MeanLuminance(img, image.Rect(0, 0, 8, 8))
 	if centre <= edge {
 		t.Fatalf("light panel (%v) not brighter than ceiling edge (%v)", centre, edge)
+	}
+}
+
+// TestCameraBasisOrthonormal: every basis — including degenerate Up — is
+// right-handed orthonormal with w the view direction.
+func TestCameraBasisOrthonormal(t *testing.T) {
+	cams := []Camera{
+		{Eye: vecmath.V(2, 0.3, 1.5), LookAt: vecmath.V(2, 4, 1.2), Up: vecmath.V(0, 0, 1)},
+		{Eye: vecmath.V(1, 1, 1), LookAt: vecmath.V(4, 2, 3)},                            // zero Up: defaults to +Z
+		{Eye: vecmath.V(2, 2, 0.5), LookAt: vecmath.V(2, 2, 3), Up: vecmath.V(0, 0, 1)},  // straight up
+		{Eye: vecmath.V(2, 2, 2.5), LookAt: vecmath.V(2, 2, 0), Up: vecmath.V(0, 0, 1)},  // straight down
+		{Eye: vecmath.V(0, 0, 0), LookAt: vecmath.V(3, 0, 0), Up: vecmath.V(1, 0, 0)},    // Up ∥ view, off-axis
+		{Eye: vecmath.V(0, 0, 0), LookAt: vecmath.V(1, 1, 1), Up: vecmath.V(-2, -2, -2)}, // anti-parallel Up
+	}
+	const eps = 1e-12
+	for i, c := range cams {
+		u, v, w := c.Basis()
+		wantW := c.LookAt.Sub(c.Eye).Norm()
+		if w.Sub(wantW).Len() > eps {
+			t.Errorf("camera %d: w = %v, want view direction %v", i, w, wantW)
+		}
+		for name, pair := range map[string][2]vecmath.Vec3{
+			"u·v": {u, v}, "u·w": {u, w}, "v·w": {v, w},
+		} {
+			if d := pair[0].Dot(pair[1]); math.Abs(d) > eps {
+				t.Errorf("camera %d: %s = %v, want 0", i, name, d)
+			}
+		}
+		for name, vec := range map[string]vecmath.Vec3{"u": u, "v": v, "w": w} {
+			if math.Abs(vec.Len()-1) > eps {
+				t.Errorf("camera %d: |%s| = %v, want 1", i, name, vec.Len())
+			}
+		}
+	}
+}
+
+// TestCameraDegenerateUpDeterministic: straight-up and straight-down
+// cameras (view ∥ Up) must produce a fixed, documented basis — the world
+// axis least aligned with the view direction — not an arbitrary roll.
+func TestCameraDegenerateUpDeterministic(t *testing.T) {
+	up := Camera{Eye: vecmath.V(2, 2, 0.5), LookAt: vecmath.V(2, 2, 3), Up: vecmath.V(0, 0, 1)}
+	u, v, w := up.Basis()
+	// w = +Z; the least-aligned axis is X (ties break to the lower index),
+	// so u = Z×X = +Y and v = u×w = +X.
+	if w.Sub(vecmath.V(0, 0, 1)).Len() > 1e-12 ||
+		u.Sub(vecmath.V(0, 1, 0)).Len() > 1e-12 ||
+		v.Sub(vecmath.V(1, 0, 0)).Len() > 1e-12 {
+		t.Errorf("straight-up basis not the documented fallback: u=%v v=%v w=%v", u, v, w)
+	}
+	down := Camera{Eye: vecmath.V(2, 2, 2.5), LookAt: vecmath.V(2, 2, 0), Up: vecmath.V(0, 0, 1)}
+	du, dv, dw := down.Basis()
+	if dw.Sub(vecmath.V(0, 0, -1)).Len() > 1e-12 ||
+		du.Sub(vecmath.V(0, -1, 0)).Len() > 1e-12 ||
+		dv.Sub(vecmath.V(1, 0, 0)).Len() > 1e-12 {
+		t.Errorf("straight-down basis not the documented fallback: u=%v v=%v w=%v", du, dv, dw)
+	}
+}
+
+// TestRenderStraightUpAndDown: the degenerate cameras actually render —
+// deterministically and with light in frame (the quickstart ceiling light
+// for the up camera).
+func TestRenderStraightUpAndDown(t *testing.T) {
+	s, err := scenes.Quickstart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(s, core.DefaultConfig(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, cam := range map[string]Camera{
+		"up":   {Eye: vecmath.V(2, 2, 0.5), LookAt: vecmath.V(2, 2, 3), Up: vecmath.V(0, 0, 1), FovY: 60, Width: 40, Height: 40},
+		"down": {Eye: vecmath.V(2, 2, 2.5), LookAt: vecmath.V(2, 2, 0), Up: vecmath.V(0, 0, 1), FovY: 60, Width: 40, Height: 40},
+	} {
+		a, err := Render(s, res.Forest, cam, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if MeanLuminance(a, a.Bounds()) < 3 {
+			t.Errorf("%s: image nearly black", name)
+		}
+		b, err := Render(s, res.Forest, cam, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d, _ := RMSE(a, b); d != 0 {
+			t.Errorf("%s: degenerate camera renders nondeterministically (RMSE %v)", name, d)
+		}
+	}
+}
+
+// TestSupersamplingIsSeededAndDistinct: samples > 1 changes the image
+// (the rays actually jitter), and the jitter is deterministic per seed.
+func TestSupersamplingIsSeededAndDistinct(t *testing.T) {
+	s, err := scenes.Quickstart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(s, core.DefaultConfig(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam := Camera{
+		Eye: vecmath.V(2, 0.3, 1.5), LookAt: vecmath.V(2, 4, 1.2),
+		Up: vecmath.V(0, 0, 1), FovY: 70, Width: 64, Height: 48,
+	}
+	opts := Options{Exposure: 2}
+	plain, err := Render(s, res.Forest, cam, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Samples = 2
+	ss, err := Render(s, res.Forest, cam, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := RMSE(plain, ss); d == 0 {
+		t.Error("2x2 supersampling identical to the center ray: jitter inert")
+	}
+	again, err := Render(s, res.Forest, cam, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := RMSE(ss, again); d != 0 {
+		t.Errorf("supersampled render nondeterministic at fixed seed (RMSE %v)", d)
 	}
 }
 

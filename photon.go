@@ -64,7 +64,9 @@ type Scene = scenes.Scene
 // Camera is the pinhole camera used for rendering answers.
 type Camera = view.Camera
 
-// RenderOptions tunes tone mapping.
+// RenderOptions tunes tone mapping (Exposure, Gamma) and the tile
+// renderer (Workers goroutines, Samples² jittered rays per pixel seeded by
+// Seed). Rendering is bit-identical at any Workers count; see view.Render.
 type RenderOptions = view.Options
 
 // Engine selects a parallelization strategy. Every engine implements the
@@ -168,7 +170,14 @@ type Solution struct {
 	stats Stats
 }
 
-// Stats returns the simulation counters.
+// Stats returns the simulation counters. For a Solution loaded from an
+// answer file they are recovered from the file rather than carried through
+// it: PhotonsEmitted is stored; Reflections and BinSplits are exact
+// reconstructions from the forest (every tally beyond the one-per-photon
+// emission is a reflection; every split added exactly one leaf). The
+// trajectory counters that leave no trace in the answer — Absorptions,
+// Escapes and TotalPathLength — do not survive a save/load round-trip and
+// read zero.
 func (s *Solution) Stats() Stats { return s.stats }
 
 // Summary is the compact ==-comparable digest of a solution's radiance
@@ -204,13 +213,24 @@ func SolutionFromResult(res *core.Result) *Solution {
 	return &Solution{inner: answer.FromResult(res), stats: res.Stats}
 }
 
-// Load reads a solution written by Save.
+// recoveredStats rebuilds the counters an answer file determines; see
+// Solution.Stats for which counters are recoverable and why.
+func recoveredStats(inner *answer.Solution) Stats {
+	return Stats{
+		PhotonsEmitted: inner.EmittedPhotons,
+		Reflections:    inner.Forest.TotalPhotons() - inner.EmittedPhotons,
+		BinSplits:      int64(inner.Forest.TotalLeaves() - inner.Forest.NumTrees()),
+	}
+}
+
+// Load reads a solution written by Save, recovering the reconstructible
+// simulation counters (see Stats).
 func Load(r io.Reader) (*Solution, error) {
 	inner, err := answer.Load(r)
 	if err != nil {
 		return nil, err
 	}
-	return &Solution{inner: inner}, nil
+	return &Solution{inner: inner, stats: recoveredStats(inner)}, nil
 }
 
 // LoadFile reads a solution from path.
@@ -219,7 +239,7 @@ func LoadFile(path string) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Solution{inner: inner}, nil
+	return &Solution{inner: inner, stats: recoveredStats(inner)}, nil
 }
 
 // Scene rebuilds the geometry a loaded solution was computed for.
