@@ -14,12 +14,15 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/benchutil"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/experiments"
+	"repro/internal/geom"
 	"repro/internal/scenes"
 	"repro/internal/server"
 	"repro/internal/shared"
+	"repro/internal/vecmath"
 )
 
 // runExperiment executes fn once per benchmark iteration and reports the
@@ -145,6 +148,65 @@ func BenchmarkEngineSerialCornell(b *testing.B) { benchEngine(b, "cornell-box", 
 func BenchmarkEngineSharedCornell(b *testing.B) { benchEngine(b, "cornell-box", EngineShared, 4) }
 func BenchmarkEngineDistCornell(b *testing.B)   { benchEngine(b, "cornell-box", EngineDistributed, 4) }
 func BenchmarkEngineSerialLab(b *testing.B)     { benchEngine(b, "computer-lab", EngineSerial, 1) }
+
+// --- Intersection hot-path benchmarks (flattened octree, PR 4) ---
+
+// benchScenes are the bundled scenes the perf trajectory tracks — the one
+// definition shared with photon-bench -json, so BENCH_*.json and
+// `go test -bench` numbers are directly comparable.
+var benchScenes = benchutil.Scenes
+
+// BenchmarkIntersectMrays measures raw octree throughput per bundled scene:
+// a fixed set of rays from interior points in uniform directions, closest
+// hit per ray, single thread. Mrays/s is the paper's
+// "DetermineIntersection" cost made directly readable.
+func BenchmarkIntersectMrays(b *testing.B) {
+	for _, name := range benchScenes {
+		b.Run(name, func(b *testing.B) {
+			sc, err := SceneByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rays := benchRays(sc, 1024)
+			var h geom.Hit
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc.Geom.Intersect(rays[i&1023], &h)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrays/s")
+		})
+	}
+}
+
+// BenchmarkTracePhotons measures single-thread end-to-end photon tracing
+// per bundled scene through core.Run — emission, octree traversal,
+// scattering and forest tallies, nothing parallel — so the photons/s column
+// isolates the per-photon cost the flattened hot path optimizes.
+func BenchmarkTracePhotons(b *testing.B) {
+	for _, name := range benchScenes {
+		b.Run(name, func(b *testing.B) {
+			sc, err := SceneByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			const photonsPerIter = 20000
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig(photonsPerIter)
+				cfg.Seed = int64(i + 1)
+				if _, err := core.Run(sc, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(photonsPerIter)*float64(b.N)/b.Elapsed().Seconds(), "photons/s")
+		})
+	}
+}
+
+// benchRays is the shared deterministic ray set (see internal/benchutil).
+func benchRays(sc *Scene, n int) []vecmath.Ray {
+	return benchutil.Rays(sc.Geom, n)
+}
 
 // --- Ablation benches for DESIGN.md's design choices ---
 

@@ -8,17 +8,23 @@
 //	photon-bench -list        # list experiment ids
 //	photon-bench -run fig-5.4 # run one experiment
 //	photon-bench -engines     # wall-clock photons/sec per engine × workers
+//	photon-bench -json        # machine-readable hot-path numbers (BENCH_*.json)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
 	"time"
 
+	"repro/internal/benchutil"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/geom"
 	"repro/internal/scenes"
 )
 
@@ -27,17 +33,25 @@ func main() {
 	log.SetPrefix("photon-bench: ")
 
 	var (
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		run     = flag.String("run", "", "run a single experiment by id")
-		engines = flag.Bool("engines", false, "sweep engine throughput on this host and exit")
-		photons = flag.Int64("photons", 50000, "photons per engine-sweep run (-engines)")
-		scene   = flag.String("scene", "cornell-box", "scene for the engine sweep (-engines)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		run      = flag.String("run", "", "run a single experiment by id")
+		engines  = flag.Bool("engines", false, "sweep engine throughput on this host and exit")
+		jsonPerf = flag.Bool("json", false, "emit the hot-path perf suite as JSON on stdout and exit")
+		photons  = flag.Int64("photons", 50000, "photons per engine-sweep or -json run")
+		scene    = flag.String("scene", "cornell-box", "scene for the engine sweep (-engines)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
+		}
+		return
+	}
+
+	if *jsonPerf {
+		if err := perfJSON(*photons); err != nil {
+			log.Fatal(err)
 		}
 		return
 	}
@@ -106,6 +120,94 @@ func engineSweep(sceneName string, photons int64) error {
 		}
 	}
 	return nil
+}
+
+// perfMeasurement is one row of the -json perf suite.
+type perfMeasurement struct {
+	Name  string  `json:"name"`
+	Scene string  `json:"scene"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+}
+
+// perfReport is the -json output: the intersection-hot-path numbers the
+// perf trajectory tracks across PRs (committed as BENCH_PR<n>.json; diff
+// two files to see the trend). Only measurements and stable host facts are
+// included, so reruns on one host differ only by noise.
+type perfReport struct {
+	Suite      string            `json:"suite"`
+	Go         string            `json:"go"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Photons    int64             `json:"photons_per_run"`
+	Results    []perfMeasurement `json:"results"`
+}
+
+// perfScenes is the shared trajectory scene set (see internal/benchutil):
+// `go test -bench` and the committed JSON report the same workloads.
+var perfScenes = benchutil.Scenes
+
+// perfJSON measures, per bundled scene: octree build time (best of 5),
+// single-thread closest-hit throughput over a fixed interior ray set, and
+// single-thread end-to-end tracing throughput — plus the index shape, so
+// layout changes are visible next to the throughput they buy.
+func perfJSON(photons int64) error {
+	rep := perfReport{
+		Suite: "intersection-hot-path", Go: runtime.Version(),
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), Photons: photons,
+	}
+	add := func(name, scene string, value float64, unit string) {
+		rep.Results = append(rep.Results, perfMeasurement{Name: name, Scene: scene, Value: value, Unit: unit})
+	}
+	for _, name := range perfScenes {
+		ctor, ok := scenes.ByName(name)
+		if !ok {
+			return fmt.Errorf("unknown scene %q", name)
+		}
+		sc, err := ctor()
+		if err != nil {
+			return err
+		}
+
+		build := time.Duration(1 << 62)
+		for i := 0; i < 5; i++ {
+			start := time.Now()
+			geom.BuildOctree(sc.Geom.Patches, geom.DefaultOctreeConfig())
+			if el := time.Since(start); el < build {
+				build = el
+			}
+		}
+		add("octree-build", name, float64(build.Nanoseconds())/1e6, "ms")
+		nodes, leaves, depth := sc.Geom.Octree().Stats()
+		add("octree-nodes", name, float64(nodes), "nodes")
+		add("octree-leaves", name, float64(leaves), "leaves")
+		add("octree-depth", name, float64(depth), "levels")
+		add("octree-memory", name, float64(sc.Geom.Octree().MemoryEstimate()), "bytes")
+
+		rays := benchutil.Rays(sc.Geom, 1024)
+		var h geom.Hit
+		cast := 0
+		start := time.Now()
+		for time.Since(start) < 500*time.Millisecond {
+			for i := 0; i < 4096; i++ {
+				sc.Geom.Intersect(rays[cast&1023], &h)
+				cast++
+			}
+		}
+		add("octree-intersect", name, float64(cast)/time.Since(start).Seconds()/1e6, "Mrays/s")
+
+		start = time.Now()
+		res, err := core.Run(sc, core.DefaultConfig(photons))
+		if err != nil {
+			return err
+		}
+		add("trace-serial", name, float64(res.Stats.PhotonsEmitted)/time.Since(start).Seconds(), "photons/s")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 func printResult(r *experiments.Result, elapsed time.Duration) {

@@ -1,0 +1,37 @@
+// Package benchutil defines the hot-path benchmark workload shared by
+// bench_test.go (`go test -bench`) and cmd/photon-bench (-json, committed
+// as BENCH_PR<n>.json). Both consumers import this single definition so
+// their numbers measure the same scenes and the same rays — the perf
+// trajectory's comparability depends on it.
+package benchutil
+
+import (
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/sampler"
+	"repro/internal/vecmath"
+)
+
+// Scenes is the bundled-scene set the perf trajectory tracks.
+var Scenes = []string{"cornell-box", "harpsichord-room", "computer-lab"}
+
+// Rays returns the deterministic intersection-benchmark ray set for a
+// scene: origins uniform in the slightly shrunk bounding box (fixed seed),
+// directions uniform on the sphere.
+func Rays(g *geom.Scene, n int) []vecmath.Ray {
+	r := rng.New(2)
+	bounds := g.Bounds()
+	size := bounds.Size()
+	rays := make([]vecmath.Ray, n)
+	for i := range rays {
+		rays[i] = vecmath.Ray{
+			Origin: vecmath.V(
+				bounds.Min.X+size.X*(0.05+0.9*r.Float64()),
+				bounds.Min.Y+size.Y*(0.05+0.9*r.Float64()),
+				bounds.Min.Z+size.Z*(0.05+0.9*r.Float64()),
+			),
+			Dir: sampler.UniformSphere(r),
+		}
+	}
+	return rays
+}

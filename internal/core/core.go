@@ -259,7 +259,11 @@ func (s *Simulator) TracePhotonFunc(stream *rng.Source, stats *Stats, deliver fu
 	f := s.EmitPhoton(stream, stats, deliver)
 	var h geom.Hit
 	for f.Bounces < s.cfg.MaxBounces {
-		// DetermineIntersection: octree ordered traversal.
+		// DetermineIntersection: the flattened octree's iterative
+		// sign-ordered front-to-back traversal — the paper's claim that
+		// ordered testing makes this step cheap is what the geom layer's
+		// layout is built around. The hit record is reused across bounces;
+		// tracing a photon allocates nothing.
 		if !s.scene.Geom.Intersect(f.Ray, &h) {
 			stats.Escapes++
 			return

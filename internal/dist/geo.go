@@ -115,6 +115,9 @@ func GeoRun(scene *scenes.Scene, cfg Config) (*Result, error) {
 }
 
 // regionRank maps a world point to the rank owning its octree root region.
+// RegionOf/Bounds are part of the octree's stable surface: space ownership
+// keys on the root octant regardless of how the index stores its nodes (the
+// PR 4 flattening changed the layout, not this contract).
 func regionRank(scene *scenes.Scene, p vecmath.Vec3, ranks int) int {
 	reg := scene.Geom.Octree().RegionOf(p)
 	if reg < 0 {

@@ -1,7 +1,8 @@
 package geom
 
 import (
-	"sort"
+	"runtime"
+	"sync"
 
 	"repro/internal/vecmath"
 )
@@ -9,7 +10,8 @@ import (
 // OctreeConfig controls octree construction.
 type OctreeConfig struct {
 	// MaxDepth bounds recursion; leaves at MaxDepth hold however many
-	// patches remain.
+	// patches remain. It is clamped to maxOctreeDepth so the traversal's
+	// fixed-size stack can never overflow.
 	MaxDepth int
 	// LeafTarget is the patch count below which a node stays a leaf.
 	LeafTarget int
@@ -22,28 +24,73 @@ func DefaultOctreeConfig() OctreeConfig {
 	return OctreeConfig{MaxDepth: 10, LeafTarget: 8}
 }
 
+// maxOctreeDepth caps MaxDepth. The iterative traversal's stack holds at
+// most 8 entries for the root's children plus a net 7 per level of descent,
+// so depth ≤ 30 keeps the worst case (8 + 7·30 = 218) inside the fixed
+// 256-entry stack with margin.
+const maxOctreeDepth = 30
+
+// parallelBuildCutoff is the item count above which a node's eight child
+// subtrees build on their own goroutines (single-CPU hosts stay serial —
+// the fan-out would only add scheduling overhead). Below the cutoff the
+// per-goroutine overhead exceeds the overlap-test work being split.
+const parallelBuildCutoff = 256
+
 // Octree is the paper's spatial index: it "orders the intersection testing
 // for a given photon such that we only test polygons in the space the photon
 // is traveling through. When an intersection is detected, it is the closest
 // intersection and further testing is not needed."
+//
+// The index is stored flattened: all nodes live in one contiguous slice with
+// the eight children of an interior node adjacent (children[k] at
+// nodes[child+k] for octant k), and every leaf's patch indices are a range
+// of one shared slab. Traversal therefore touches sequential cache lines
+// instead of chasing per-node heap pointers, and the regular octant
+// numbering lets front-to-back order come from the ray's direction sign
+// bits (index ^ signMask) rather than a per-node sort.
 type Octree struct {
-	root    *octNode
-	patches []Patch // scene patch storage; nodes refer by index
-	nodes   int
-	leaves  int
-	depth   int
+	patches []Patch    // scene patch storage; leaves refer by index
+	nodes   []flatNode // node 0 is the root; children contiguous
+	items   []int32    // shared leaf slab: patch indices, ascending per leaf
+
+	nodeCount int
+	leafCount int
+	depth     int
 }
 
-type octNode struct {
+// flatNode is one octree cell. 64 bytes — exactly one cache line — so a
+// parent and its first children typically share a handful of lines.
+type flatNode struct {
+	bounds vecmath.AABB
+	// child is the index of the first of this node's 8 contiguous children,
+	// or -1 for a leaf.
+	child int32
+	// start/count delimit the leaf's patch-index range in the items slab
+	// (leaves only; count 0 marks an empty leaf traversal skips for free).
+	start, count int32
+}
+
+// buildNode is the temporary pointer-linked node used during construction.
+// Subtrees build independently (in parallel above parallelBuildCutoff) and
+// carry their own aggregate counters, so the finished tree and its stats
+// are pure functions of the input regardless of goroutine scheduling; a
+// serial flatten pass then lays the nodes out deterministically.
+type buildNode struct {
 	bounds   vecmath.AABB
-	children *[8]*octNode // nil for leaves
-	items    []int32      // patch indices (leaves only)
+	children *[8]*buildNode // nil for leaves
+	items    []int32        // patch indices (leaves only)
+
+	// Subtree aggregates, filled bottom-up.
+	nodes, leaves, depth, nItems int
 }
 
 // BuildOctree constructs an octree over the patches. Patches are stored in
 // every leaf whose cell their bounding box overlaps, so boundary-spanning
 // polygons are never missed.
 func BuildOctree(patches []Patch, cfg OctreeConfig) *Octree {
+	if cfg.MaxDepth > maxOctreeDepth {
+		cfg.MaxDepth = maxOctreeDepth
+	}
 	o := &Octree{patches: patches}
 	bounds := vecmath.EmptyAABB()
 	for i := range patches {
@@ -54,127 +101,179 @@ func BuildOctree(patches []Patch, cfg OctreeConfig) *Octree {
 	for i := range all {
 		all[i] = int32(i)
 	}
-	o.root = o.build(bounds, all, 0, cfg)
+	root := buildSubtree(patches, bounds, all, 0, cfg)
+	o.nodeCount, o.leafCount, o.depth = root.nodes, root.leaves, root.depth
+	o.nodes = make([]flatNode, 0, root.nodes)
+	o.items = make([]int32, 0, root.nItems)
+	o.nodes = append(o.nodes, flatNode{})
+	o.flatten(0, root)
 	return o
 }
 
-func (o *Octree) build(bounds vecmath.AABB, items []int32, depth int, cfg OctreeConfig) *octNode {
-	o.nodes++
-	if depth > o.depth {
-		o.depth = depth
-	}
-	n := &octNode{bounds: bounds}
+// buildSubtree recursively constructs the subtree for one cell. The octant
+// subsets are computed — and the no-progress case rejected — *before* any
+// child recursion, so a cell whose patches span every octant costs eight
+// overlap scans, not an O(8^depth) construct-and-discard of its whole
+// subtree.
+func buildSubtree(patches []Patch, bounds vecmath.AABB, items []int32, depth int, cfg OctreeConfig) *buildNode {
+	n := &buildNode{bounds: bounds, nodes: 1, leaves: 1, depth: depth, nItems: len(items)}
 	if len(items) <= cfg.LeafTarget || depth >= cfg.MaxDepth {
 		n.items = items
-		o.leaves++
 		return n
 	}
-	var children [8]*octNode
+	var subs [8][]int32
 	allSame := true
 	for i := 0; i < 8; i++ {
 		cell := bounds.Octant(i)
-		var sub []int32
 		for _, idx := range items {
-			if o.patches[idx].Bounds().Overlaps(cell) {
-				sub = append(sub, idx)
+			if patches[idx].Bounds().Overlaps(cell) {
+				subs[i] = append(subs[i], idx)
 			}
 		}
-		if len(sub) != len(items) {
+		if len(subs[i]) != len(items) {
 			allSame = false
 		}
-		children[i] = o.build(cell, sub, depth+1, cfg)
 	}
 	if allSame {
 		// Subdividing did not separate anything (e.g. a large patch spans
-		// every octant); stop to avoid useless depth. Roll back child
-		// bookkeeping.
-		o.nodes -= 8
-		o.leaves -= countLeaves(&children)
+		// every octant); stay a leaf to avoid useless depth.
 		n.items = items
-		o.leaves++
 		return n
 	}
+	var children [8]*buildNode
+	if len(items) >= parallelBuildCutoff && runtime.GOMAXPROCS(0) > 1 {
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				children[i] = buildSubtree(patches, bounds.Octant(i), subs[i], depth+1, cfg)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := 0; i < 8; i++ {
+			children[i] = buildSubtree(patches, bounds.Octant(i), subs[i], depth+1, cfg)
+		}
+	}
 	n.children = &children
+	n.leaves, n.nItems = 0, 0
+	for _, c := range children {
+		n.nodes += c.nodes
+		n.leaves += c.leaves
+		n.nItems += c.nItems
+		if c.depth > n.depth {
+			n.depth = c.depth
+		}
+	}
 	return n
 }
 
-func countLeaves(ch *[8]*octNode) int {
-	total := 0
-	for _, c := range ch {
-		if c == nil {
-			continue
+// flatten lays bn out at nodes[slot], depth-first with each node's eight
+// children contiguous. Slots are reserved before recursion, so a node and
+// its children occupy one run of the slice; the capacity is exact (from the
+// build aggregates), so the appends never reallocate.
+func (o *Octree) flatten(slot int32, bn *buildNode) {
+	if bn.children == nil {
+		o.nodes[slot] = flatNode{
+			bounds: bn.bounds,
+			child:  -1,
+			start:  int32(len(o.items)),
+			count:  int32(len(bn.items)),
 		}
-		if c.children == nil {
-			total++
-		} else {
-			total += countLeaves(c.children)
-		}
+		o.items = append(o.items, bn.items...)
+		return
 	}
-	return total
+	base := int32(len(o.nodes))
+	o.nodes = o.nodes[:len(o.nodes)+8]
+	o.nodes[slot] = flatNode{bounds: bn.bounds, child: base}
+	for k := int32(0); k < 8; k++ {
+		o.flatten(base+k, bn.children[k])
+	}
 }
 
 // Stats returns (node count, leaf count, max depth) for diagnostics.
 func (o *Octree) Stats() (nodes, leaves, depth int) {
-	return o.nodes, o.leaves, o.depth
+	return o.nodeCount, o.leafCount, o.depth
 }
+
+// traversalStack bounds the DFS stack: 8 root children plus a net 7 pushes
+// per level of descent, with depth clamped to maxOctreeDepth (see above).
+const traversalStack = 256
 
 // Intersect finds the closest hit along r within (tMin, tMax) using ordered
 // front-to-back traversal, so descent terminates as soon as a hit closer
 // than the next cell's entry distance is known.
+//
+// The traversal is iterative over the flat node slice with an explicit
+// fixed-size stack. Children are pushed far-to-near so the nearest pops
+// first; because octants form a regular grid, front-to-back order among the
+// (at most four) sibling cells a ray can pass through is exactly ascending
+// child ^ signMask, where signMask collects the ray direction's sign bits —
+// no per-node sorting. A popped cell whose entry distance exceeds the best
+// hit so far is discarded unvisited.
 func (o *Octree) Intersect(r vecmath.Ray, tMin, tMax float64, h *Hit) bool {
-	_, _, ok := o.root.bounds.IntersectRay(r, tMin, tMax)
+	inv := vecmath.Vec3{X: 1 / r.Dir.X, Y: 1 / r.Dir.Y, Z: 1 / r.Dir.Z}
+	rootT0, _, ok := o.nodes[0].bounds.IntersectRayInv(r.Origin, inv, tMin, tMax)
 	if !ok {
 		return false
 	}
+	var signMask int32
+	if inv.X < 0 {
+		signMask |= 1
+	}
+	if inv.Y < 0 {
+		signMask |= 2
+	}
+	if inv.Z < 0 {
+		signMask |= 4
+	}
+
+	type stackEntry struct {
+		t0   float64
+		node int32
+	}
+	var stack [traversalStack]stackEntry
+	stack[0] = stackEntry{t0: rootT0, node: 0}
+	sp := 1
+
 	best := tMax
-	found := o.intersectNode(o.root, r, tMin, &best, h)
-	return found
-}
-
-type childOrder struct {
-	node *octNode
-	t0   float64
-}
-
-func (o *Octree) intersectNode(n *octNode, r vecmath.Ray, tMin float64, best *float64, h *Hit) bool {
-	if n.children == nil {
-		found := false
-		var tmp Hit
-		for _, idx := range n.items {
-			if o.patches[idx].Intersect(r, tMin, *best, &tmp) {
-				// A patch stored in this leaf may be hit outside the leaf's
-				// cell (patches span cells); that is fine — *best only
-				// shrinks, and correctness never depends on the hit being
-				// inside this cell.
-				*h = tmp
-				*best = tmp.T
-				found = true
-			}
-		}
-		return found
-	}
-	// Order children by entry distance and visit front to back.
-	var order [8]childOrder
-	cnt := 0
-	for _, c := range n.children {
-		if c == nil || (c.children == nil && len(c.items) == 0) {
-			continue
-		}
-		t0, _, ok := c.bounds.IntersectRay(r, tMin, *best)
-		if !ok {
-			continue
-		}
-		order[cnt] = childOrder{node: c, t0: t0}
-		cnt++
-	}
-	sort.Slice(order[:cnt], func(i, j int) bool { return order[i].t0 < order[j].t0 })
 	found := false
-	for i := 0; i < cnt; i++ {
-		if order[i].t0 > *best {
-			break // every later cell is entered beyond the best hit
+	for sp > 0 {
+		sp--
+		e := stack[sp]
+		if e.t0 > best {
+			continue // entered beyond the best hit; every patch inside is too
 		}
-		if o.intersectNode(order[i].node, r, tMin, best, h) {
-			found = true
+		n := &o.nodes[e.node]
+		if n.child < 0 {
+			// Patch.Intersect writes h only on success, so h doubles as the
+			// running best without a temporary. A patch stored in this leaf
+			// may be hit outside the leaf's cell (patches span cells); that
+			// is fine — best only shrinks, and correctness never depends on
+			// the hit being inside this cell.
+			for _, idx := range o.items[n.start : n.start+n.count] {
+				if o.patches[idx].Intersect(r, tMin, best, h) {
+					best = h.T
+					found = true
+				}
+			}
+			continue
+		}
+		// Push children far-to-near: descending k visits ascending
+		// (k ^ signMask) entry order when popped.
+		for k := int32(7); k >= 0; k-- {
+			ci := n.child + (k ^ signMask)
+			c := &o.nodes[ci]
+			if c.child < 0 && c.count == 0 {
+				continue
+			}
+			t0, _, ok := c.bounds.IntersectRayInv(r.Origin, inv, tMin, best)
+			if !ok {
+				continue
+			}
+			stack[sp] = stackEntry{t0: t0, node: ci}
+			sp++
 		}
 	}
 	return found
@@ -184,10 +283,11 @@ func (o *Octree) intersectNode(n *octNode, r vecmath.Ray, tMin float64, best *fl
 // if p lies outside the octree bounds. The geometry-distribution extension
 // (chapter 6) partitions space ownership by root octant.
 func (o *Octree) RegionOf(p vecmath.Vec3) int {
-	if !o.root.bounds.Contains(p) {
+	root := o.nodes[0].bounds
+	if !root.Contains(p) {
 		return -1
 	}
-	c := o.root.bounds.Center()
+	c := root.Center()
 	i := 0
 	if p.X >= c.X {
 		i |= 1
@@ -202,27 +302,15 @@ func (o *Octree) RegionOf(p vecmath.Vec3) int {
 }
 
 // Bounds returns the root bounds of the octree.
-func (o *Octree) Bounds() vecmath.AABB { return o.root.bounds }
+func (o *Octree) Bounds() vecmath.AABB { return o.nodes[0].bounds }
 
-// MemoryEstimate returns a rough byte count for the index, used by the
-// memory-growth experiment to separate geometry storage (constant) from the
-// bin forest (growing).
+// flatNodeBytes is the size of one flatNode: a 48-byte AABB plus three
+// int32s, padded to 8-byte alignment.
+const flatNodeBytes = 64
+
+// MemoryEstimate returns the byte count of the flattened index — the node
+// slice plus the shared leaf slab — used by the memory-growth experiment to
+// separate geometry storage (constant) from the bin forest (growing).
 func (o *Octree) MemoryEstimate() int64 {
-	var walk func(n *octNode) int64
-	walk = func(n *octNode) int64 {
-		size := int64(64) // node struct
-		size += int64(len(n.items)) * 4
-		if n.children != nil {
-			for _, c := range n.children {
-				if c != nil {
-					size += walk(c)
-				}
-			}
-		}
-		return size
-	}
-	if o.root == nil {
-		return 0
-	}
-	return walk(o.root)
+	return int64(len(o.nodes))*flatNodeBytes + int64(len(o.items))*4
 }

@@ -241,6 +241,18 @@ func BenchmarkOctreeIntersect(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.Intersect(rays[i&1023], &h)
 	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrays/s")
+}
+
+// BenchmarkOctreeBuild measures construction over a 2000-patch randomized
+// scene: the cost a request pays the first time a generated scene is
+// simulated, parallelized per subtree above the cutoff.
+func BenchmarkOctreeBuild(b *testing.B) {
+	s := boxScene(b, 10, 2000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildOctree(s.Patches, DefaultOctreeConfig())
+	}
 }
 
 func BenchmarkBruteIntersect(b *testing.B) {

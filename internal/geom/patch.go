@@ -38,6 +38,13 @@ type Patch struct {
 	normal vecmath.Vec3
 	area   float64
 	basis  vecmath.ONB
+	// Gram matrix of (EdgeS, EdgeT) and its determinant: the normal
+	// equations of the bilinear (s,t) solve. Cached so Params — called for
+	// every candidate patch the octree traversal tests — does two dot
+	// products instead of five. The solve keeps the adjugate/determinant
+	// division form (rather than premultiplying the inverse matrix) so its
+	// results stay bit-identical to computing the Gram entries in place.
+	gramSS, gramST, gramTT, gramDet float64
 }
 
 // Finish computes the derived fields (normal, area, local basis). It must be
@@ -52,6 +59,10 @@ func (p *Patch) Finish() error {
 	p.area = a
 	p.basis = vecmath.ONB{U: p.EdgeS.Norm(), W: p.normal}
 	p.basis.V = p.normal.Cross(p.basis.U)
+	p.gramSS = p.EdgeS.Dot(p.EdgeS)
+	p.gramST = p.EdgeS.Dot(p.EdgeT)
+	p.gramTT = p.EdgeT.Dot(p.EdgeT)
+	p.gramDet = p.gramSS*p.gramTT - p.gramST*p.gramST
 	if p.Collimation == 0 {
 		p.Collimation = 1
 	}
@@ -92,22 +103,21 @@ func (p *Patch) Bounds() vecmath.AABB {
 }
 
 // Params inverts the bilinear map for a world point already known to lie on
-// the patch plane, returning (s, t). Used by the viewer when it must locate
-// the bin for an arbitrary hit point.
+// the patch plane, returning (s, t). Used on every candidate patch the
+// octree tests and by the viewer when it must locate the bin for an
+// arbitrary hit point. It requires Finish to have run (NewScene does): the
+// solve uses the cached Gram matrix, leaving only the two ray-dependent
+// dot products per call.
 func (p *Patch) Params(world vecmath.Vec3) (s, t float64) {
 	d := world.Sub(p.Origin)
 	// Solve d = s*EdgeS + t*EdgeT in the patch plane by normal equations.
-	a11 := p.EdgeS.Dot(p.EdgeS)
-	a12 := p.EdgeS.Dot(p.EdgeT)
-	a22 := p.EdgeT.Dot(p.EdgeT)
 	b1 := d.Dot(p.EdgeS)
 	b2 := d.Dot(p.EdgeT)
-	det := a11*a22 - a12*a12
-	if det == 0 {
+	if p.gramDet == 0 {
 		return 0, 0
 	}
-	s = (b1*a22 - b2*a12) / det
-	t = (b2*a11 - b1*a12) / det
+	s = (b1*p.gramTT - b2*p.gramST) / p.gramDet
+	t = (b2*p.gramSS - b1*p.gramST) / p.gramDet
 	return s, t
 }
 
@@ -136,6 +146,10 @@ func (p *Patch) Intersect(r vecmath.Ray, tMin, tMax float64, h *Hit) bool {
 	if math.Abs(denom) < 1e-14 {
 		return false // ray parallel to the patch plane
 	}
+	// The plane offset Origin·normal is deliberately not cached: the
+	// precomputed form (planeD − r.Origin·normal) rounds differently from
+	// ((Origin − r.Origin)·normal), and hit parameters must stay bit-stable
+	// — forests and renders are compared bit-exactly across engines.
 	t := p.Origin.Sub(r.Origin).Dot(p.normal) / denom
 	if t <= tMin || t >= tMax {
 		return false

@@ -116,32 +116,61 @@ func (b AABB) Octant(i int) AABB {
 // interval overlaps [tMin, tMax]. Zero direction components are handled by
 // IEEE infinities.
 func (b AABB) IntersectRay(r Ray, tMin, tMax float64) (t0, t1 float64, hit bool) {
+	inv := Vec3{1 / r.Dir.X, 1 / r.Dir.Y, 1 / r.Dir.Z}
+	return b.IntersectRayInv(r.Origin, inv, tMin, tMax)
+}
+
+// IntersectRayInv is IntersectRay with the reciprocal direction hoisted out
+// of the call: traversal loops compute inv = (1/Dir.X, 1/Dir.Y, 1/Dir.Z)
+// once per ray and reuse it across every node's slab test, with the axis
+// loop unrolled. The near/far selection stays the value compare-and-swap of
+// the textbook slab test rather than picking slabs from the reciprocal's
+// sign: the two differ when a ray starts exactly on a slab plane with a
+// negative-zero direction component (0·−∞ = NaN lands on a different
+// comparison), and the arithmetic here must stay bit-equal to what the
+// pre-flattening octree computed — traversal decisions, and therefore
+// forests and renders, are compared bit-exactly across refactors.
+func (b AABB) IntersectRayInv(origin, inv Vec3, tMin, tMax float64) (t0, t1 float64, hit bool) {
 	t0, t1 = tMin, tMax
-	for axis := 0; axis < 3; axis++ {
-		var origin, dir, lo, hi float64
-		switch axis {
-		case 0:
-			origin, dir, lo, hi = r.Origin.X, r.Dir.X, b.Min.X, b.Max.X
-		case 1:
-			origin, dir, lo, hi = r.Origin.Y, r.Dir.Y, b.Min.Y, b.Max.Y
-		default:
-			origin, dir, lo, hi = r.Origin.Z, r.Dir.Z, b.Min.Z, b.Max.Z
-		}
-		inv := 1 / dir
-		near := (lo - origin) * inv
-		far := (hi - origin) * inv
-		if near > far {
-			near, far = far, near
-		}
-		if near > t0 {
-			t0 = near
-		}
-		if far < t1 {
-			t1 = far
-		}
-		if t0 > t1 {
-			return 0, 0, false
-		}
+
+	near := (b.Min.X - origin.X) * inv.X
+	far := (b.Max.X - origin.X) * inv.X
+	if near > far {
+		near, far = far, near
+	}
+	if near > t0 {
+		t0 = near
+	}
+	if far < t1 {
+		t1 = far
+	}
+
+	near = (b.Min.Y - origin.Y) * inv.Y
+	far = (b.Max.Y - origin.Y) * inv.Y
+	if near > far {
+		near, far = far, near
+	}
+	if near > t0 {
+		t0 = near
+	}
+	if far < t1 {
+		t1 = far
+	}
+
+	near = (b.Min.Z - origin.Z) * inv.Z
+	far = (b.Max.Z - origin.Z) * inv.Z
+	if near > far {
+		near, far = far, near
+	}
+	if near > t0 {
+		t0 = near
+	}
+	if far < t1 {
+		t1 = far
+	}
+
+	if t0 > t1 {
+		return 0, 0, false
 	}
 	return t0, t1, true
 }

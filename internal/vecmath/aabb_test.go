@@ -185,3 +185,41 @@ func TestIntersectRayRespectsTBounds(t *testing.T) {
 		t.Fatal("expected miss with large tMin")
 	}
 }
+
+// TestIntersectRayInvMatchesIntersectRay pins the hoisting contract: for
+// any ray, IntersectRayInv with a precomputed reciprocal direction returns
+// exactly what IntersectRay returns — including negative directions (the
+// sign-selected near/far slabs), axis-parallel rays (IEEE infinities), and
+// negative-zero components (whose reciprocal is -Inf, selecting the Max
+// slab).
+func TestIntersectRayInvMatchesIntersectRay(t *testing.T) {
+	b := NewAABB(V(-1, 0, 2), V(3, 5, 4))
+	rays := []Ray{
+		{Origin: V(-5, 2, 3), Dir: V(1, 0, 0)},
+		{Origin: V(5, 2, 3), Dir: V(-1, 0, 0)},
+		{Origin: V(0, 2, 3), Dir: V(0.5, 0.5, -0.7)},
+		{Origin: V(0, 2, 10), Dir: V(0, 0, -1)},
+		{Origin: V(0, 2, 3), Dir: V(0, -0.0, 1)},
+		{Origin: V(-1, 0, 2), Dir: V(1, 1, 1)},   // origin on the min corner
+		{Origin: V(10, 10, 10), Dir: V(0, 1, 0)}, // parallel, outside every slab
+	}
+	// A deterministic spread of oblique rays.
+	for i := 0; i < 64; i++ {
+		fi := float64(i)
+		rays = append(rays, Ray{
+			Origin: V(math.Sin(fi)*6, math.Cos(fi*1.3)*6, 3+math.Sin(fi*0.7)*6),
+			Dir:    V(math.Cos(fi*2.1), math.Sin(fi*1.7), math.Cos(fi*0.9)).Norm(),
+		})
+	}
+	for i, r := range rays {
+		inv := V(1/r.Dir.X, 1/r.Dir.Y, 1/r.Dir.Z)
+		for _, lim := range [][2]float64{{0, math.Inf(1)}, {0, 1}, {2, 8}} {
+			t0a, t1a, hitA := b.IntersectRay(r, lim[0], lim[1])
+			t0b, t1b, hitB := b.IntersectRayInv(r.Origin, inv, lim[0], lim[1])
+			if t0a != t0b || t1a != t1b || hitA != hitB {
+				t.Fatalf("ray %d lim %v: IntersectRay=(%v,%v,%v) IntersectRayInv=(%v,%v,%v)",
+					i, lim, t0a, t1a, hitA, t0b, t1b, hitB)
+			}
+		}
+	}
+}

@@ -366,3 +366,30 @@ func TestDifferentViewpointsFromOneAnswer(t *testing.T) {
 		prev = img
 	}
 }
+
+// BenchmarkPrimaryRays measures the view stage's per-ray cost in isolation:
+// one primary ray per pixel through the scene intersector plus the radiance
+// lookup, single worker, no supersampling — the Mrays/s the tile renderer
+// multiplies by its worker count.
+func BenchmarkPrimaryRays(b *testing.B) {
+	s, err := scenes.Quickstart()
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Run(s, core.DefaultConfig(30000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cam := Camera{
+		Eye: vecmath.V(2, 0.3, 1.5), LookAt: vecmath.V(2, 4, 1.2),
+		Up: vecmath.V(0, 0, 1), FovY: 70, Width: 320, Height: 240,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Render(s, res.Forest, cam, Options{Exposure: 2, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rays := float64(cam.Width*cam.Height) * float64(b.N)
+	b.ReportMetric(rays/b.Elapsed().Seconds()/1e6, "Mrays/s")
+}
