@@ -9,6 +9,12 @@
 //	photon-bench -run fig-5.4 # run one experiment
 //	photon-bench -engines     # wall-clock photons/sec per engine × workers
 //	photon-bench -json        # machine-readable hot-path numbers (BENCH_*.json)
+//
+// Scene flags accept built-in names and generator specs
+// (gen:<family>/seed=N/param=value/..., see internal/scenegen); -scenes
+// overrides the -json scene set, which defaults to the perf-trajectory
+// scenes plus the 10²→10⁴ patch-count scale sweep — pass
+// gen:grid/seed=1/patches=100000 for the 10⁵ point.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/benchutil"
@@ -38,7 +45,8 @@ func main() {
 		engines  = flag.Bool("engines", false, "sweep engine throughput on this host and exit")
 		jsonPerf = flag.Bool("json", false, "emit the hot-path perf suite as JSON on stdout and exit")
 		photons  = flag.Int64("photons", 50000, "photons per engine-sweep or -json run")
-		scene    = flag.String("scene", "cornell-box", "scene for the engine sweep (-engines)")
+		scene    = flag.String("scene", "cornell-box", "scene for the engine sweep (-engines); built-in name or gen: spec")
+		sceneSet = flag.String("scenes", "", "comma-separated scene set for -json (default: trajectory scenes + scale sweep)")
 	)
 	flag.Parse()
 
@@ -50,7 +58,11 @@ func main() {
 	}
 
 	if *jsonPerf {
-		if err := perfJSON(*photons); err != nil {
+		set := perfScenes
+		if *sceneSet != "" {
+			set = strings.Split(*sceneSet, ",")
+		}
+		if err := perfJSON(*photons, set); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -93,9 +105,9 @@ func main() {
 // reports real wall-clock throughput at several worker counts — the
 // companion to BenchmarkSharedContention for quick host characterization.
 func engineSweep(sceneName string, photons int64) error {
-	ctor, ok := scenes.ByName(sceneName)
-	if !ok {
-		return fmt.Errorf("unknown scene %q", sceneName)
+	ctor, err := scenes.ByName(sceneName)
+	if err != nil {
+		return err
 	}
 	sc, err := ctor()
 	if err != nil {
@@ -144,15 +156,17 @@ type perfReport struct {
 	Results    []perfMeasurement `json:"results"`
 }
 
-// perfScenes is the shared trajectory scene set (see internal/benchutil):
-// `go test -bench` and the committed JSON report the same workloads.
-var perfScenes = benchutil.Scenes
+// perfScenes is the default -json scene set: the shared trajectory scenes
+// (see internal/benchutil; `go test -bench` reports the same workloads)
+// plus the generated scale sweep, so the committed JSON tracks patch-count
+// scaling alongside the fixed rooms.
+var perfScenes = append(append([]string{}, benchutil.Scenes...), benchutil.ScaleSweep...)
 
 // perfJSON measures, per bundled scene: octree build time (best of 5),
 // single-thread closest-hit throughput over a fixed interior ray set, and
 // single-thread end-to-end tracing throughput — plus the index shape, so
 // layout changes are visible next to the throughput they buy.
-func perfJSON(photons int64) error {
+func perfJSON(photons int64, sceneSet []string) error {
 	rep := perfReport{
 		Suite: "intersection-hot-path", Go: runtime.Version(),
 		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
@@ -161,10 +175,10 @@ func perfJSON(photons int64) error {
 	add := func(name, scene string, value float64, unit string) {
 		rep.Results = append(rep.Results, perfMeasurement{Name: name, Scene: scene, Value: value, Unit: unit})
 	}
-	for _, name := range perfScenes {
-		ctor, ok := scenes.ByName(name)
-		if !ok {
-			return fmt.Errorf("unknown scene %q", name)
+	for _, name := range sceneSet {
+		ctor, err := scenes.ByName(name)
+		if err != nil {
+			return err
 		}
 		sc, err := ctor()
 		if err != nil {

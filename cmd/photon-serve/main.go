@@ -12,6 +12,8 @@
 //
 // Built-in scenes work without a pre-computed answer file (simulated on
 // first request): /render?scene=quickstart&... — see /scenes for names.
+// Generator specs work the same way (the scene is built and simulated on
+// first request): /render?scene=gen:office/seed=42/rooms=2/density=0.7&...
 package main
 
 import (

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	photon-sim -scene cornell-box -photons 1000000 -engine shared -workers 8 -o cornell.pbf
+//	photon-sim -scene gen:office/seed=42/rooms=2/density=0.7 -photons 500000 -o office.pbf
+//
+// -scene accepts built-in names and generator specs
+// (gen:<family>/seed=N/param=value/...); generated scenes are
+// deterministic, so the answer file's stored spec rebuilds the exact
+// geometry at view time.
 package main
 
 import (
@@ -25,7 +31,10 @@ func main() {
 	log.SetPrefix("photon-sim: ")
 
 	var (
-		sceneName  = flag.String("scene", "quickstart", "scene: "+strings.Join(photon.SceneNames(), ", "))
+		sceneName = flag.String("scene", "quickstart",
+			"scene: "+strings.Join(photon.SceneNames(), ", ")+
+				", or a generator spec gen:<family>/seed=N/... (families: "+
+				strings.Join(photon.GenFamilies(), ", ")+")")
 		photons    = flag.Int64("photons", 200000, "photons to emit")
 		engineName = flag.String("engine", "serial", "engine: serial, shared, distributed, geo")
 		workers    = flag.Int("workers", 4, "workers (shared) or ranks (distributed, geo)")

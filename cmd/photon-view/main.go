@@ -1,5 +1,8 @@
 // photon-view renders a PNG from a Photon answer file — any viewpoint,
 // no recomputation (the paper's two-stage pipeline, Figure 4.9/4.10).
+// Answers computed on generated scenes (photon-sim -scene gen:...) load
+// like any other: the canonical spec stored in the file rebuilds the
+// identical geometry.
 //
 // Usage:
 //

@@ -143,11 +143,14 @@ func LoadFile(path string) (*Solution, error) {
 	return Load(f)
 }
 
-// Scene rebuilds the geometry the solution was computed for.
+// Scene rebuilds the geometry the solution was computed for: a built-in
+// scene by name, or a generated scene by its canonical gen: spec (scene
+// generation is deterministic, so the spec alone reconstructs the exact
+// geometry the forest was computed on).
 func (s *Solution) Scene() (*scenes.Scene, error) {
-	ctor, ok := scenes.ByName(s.SceneName)
-	if !ok {
-		return nil, fmt.Errorf("answer: unknown scene %q", s.SceneName)
+	ctor, err := scenes.ByName(s.SceneName)
+	if err != nil {
+		return nil, fmt.Errorf("answer: %w", err)
 	}
 	sc, err := ctor()
 	if err != nil {

@@ -12,8 +12,25 @@ import (
 	"repro/internal/vecmath"
 )
 
-// Scenes is the bundled-scene set the perf trajectory tracks.
-var Scenes = []string{"cornell-box", "harpsichord-room", "computer-lab"}
+// GenScene is the generated scene in the perf trajectory: a canonical
+// scenegen spec, so the workload is reproducible from the name alone and
+// the generator's own cost shows up next to the hand-built rooms.
+const GenScene = "gen:office/seed=7/rooms=2/density=0.6"
+
+// Scenes is the scene set the perf trajectory tracks: the three bundled
+// rooms plus one procedurally generated office.
+var Scenes = []string{"cornell-box", "harpsichord-room", "computer-lab", GenScene}
+
+// ScaleSweep is the scene-scale sweep: the grid family at patch counts
+// 10²→10⁴, so BENCH_*.json records how octree build, intersection and
+// tracing throughput scale with geometry size. The 10⁵ point exists
+// (gen:grid/seed=1/patches=100000) but is left out of the default sweep to
+// keep CI's bench-smoke fast; pass it to photon-bench -scenes to measure.
+var ScaleSweep = []string{
+	"gen:grid/seed=1/patches=100",
+	"gen:grid/seed=1/patches=1000",
+	"gen:grid/seed=1/patches=10000",
+}
 
 // Rays returns the deterministic intersection-benchmark ray set for a
 // scene: origins uniform in the slightly shrunk bounding box (fixed seed),

@@ -55,6 +55,35 @@ func (c Config) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// validate rejects configurations no engine can run. Every engine applies
+// it at the top of Run, so an invalid Config fails the same way — an error,
+// never a panic and never a silent reinterpretation — regardless of which
+// parallelization strategy is selected. Zero values that mean "use the
+// default" (Workers, ChunkSize, BatchSize, Sections) remain valid; it is
+// the explicitly nonsensical values that must not slip into a worker pool
+// or rank loop.
+func (c Config) validate() error {
+	if c.Core.Photons <= 0 {
+		return fmt.Errorf("engine: Config.Core.Photons must be positive, got %d", c.Core.Photons)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("engine: Config.Workers must be >= 0 (0 = all CPUs), got %d", c.Workers)
+	}
+	if c.ChunkSize < 0 {
+		return fmt.Errorf("engine: Config.ChunkSize must be >= 0 (0 = default), got %d", c.ChunkSize)
+	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("engine: Config.BatchSize must be >= 0 (0 = engine default), got %d", c.BatchSize)
+	}
+	if c.Core.Sections < 0 {
+		return fmt.Errorf("engine: Config.Core.Sections must be >= 0 (0 = one tree per polygon), got %d", c.Core.Sections)
+	}
+	if c.Core.MaxBounces < 0 {
+		return fmt.Errorf("engine: Config.Core.MaxBounces must be >= 0 (0 = default), got %d", c.Core.MaxBounces)
+	}
+	return nil
+}
+
 // Solution is the uniform result of any engine run: the core answer plus,
 // for the message-passing engines, the distribution telemetry.
 type Solution struct {

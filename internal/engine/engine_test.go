@@ -103,6 +103,43 @@ func TestProgressReportingAllEngines(t *testing.T) {
 	}
 }
 
+// TestInvalidConfigErrorsUniformly: an invalid Config must come back as an
+// error — never a panic, never a silent reinterpretation — from every
+// engine identically. This is the contract that lets callers (the public
+// API, the HTTP server, the CLIs) validate once by attempting a run,
+// whatever engine the user selected.
+func TestInvalidConfigErrorsUniformly(t *testing.T) {
+	s := quickScene(t)
+	cases := []struct {
+		label  string
+		mutate func(*Config)
+	}{
+		{"zero-photons", func(c *Config) { c.Core.Photons = 0 }},
+		{"negative-photons", func(c *Config) { c.Core.Photons = -5 }},
+		{"negative-workers", func(c *Config) { c.Workers = -1 }},
+		{"negative-chunk", func(c *Config) { c.ChunkSize = -64 }},
+		{"negative-batch", func(c *Config) { c.BatchSize = -500 }},
+		{"negative-sections", func(c *Config) { c.Core.Sections = -2 }},
+		{"negative-max-bounces", func(c *Config) { c.Core.MaxBounces = -1 }},
+	}
+	for _, e := range All() {
+		for _, tc := range cases {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Errorf("%s/%s: panicked: %v", e.Name(), tc.label, r)
+					}
+				}()
+				cfg := Config{Core: core.DefaultConfig(1000), Workers: 2}
+				tc.mutate(&cfg)
+				if _, err := e.Run(s, cfg); err == nil {
+					t.Errorf("%s/%s: invalid config accepted", e.Name(), tc.label)
+				}
+			}()
+		}
+	}
+}
+
 func TestGeoRejectsSectioning(t *testing.T) {
 	s := quickScene(t)
 	cfg := Config{Core: core.DefaultConfig(100)}

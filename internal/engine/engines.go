@@ -18,6 +18,9 @@ type serialEngine struct{}
 func (serialEngine) Name() string { return "serial" }
 
 func (serialEngine) Run(scene *scenes.Scene, cfg Config) (*Solution, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	res, err := core.RunProgress(scene, cfg.Core, cfg.Progress)
 	if err != nil {
 		return nil, err
@@ -30,6 +33,9 @@ type sharedEngine struct{}
 func (sharedEngine) Name() string { return "shared" }
 
 func (sharedEngine) Run(scene *scenes.Scene, cfg Config) (*Solution, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	res, err := shared.Run(scene, shared.Config{
 		Core:      cfg.Core,
 		Workers:   cfg.workers(),
@@ -47,6 +53,9 @@ type distEngine struct{}
 func (distEngine) Name() string { return "distributed" }
 
 func (distEngine) Run(scene *scenes.Scene, cfg Config) (*Solution, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	dcfg := dist.DefaultConfig(cfg.Core.Photons, cfg.workers())
 	dcfg.Core = cfg.Core
 	dcfg.Balance = cfg.Balance
@@ -69,8 +78,13 @@ type geoEngine struct{}
 func (geoEngine) Name() string { return "geo" }
 
 func (geoEngine) Run(scene *scenes.Scene, cfg Config) (*Solution, error) {
-	// Geo owns whole polygons by region; its forest is never sectioned.
-	// Refuse rather than silently ignore an explicit sectioning request.
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	// Geo owns whole polygons by region; its forest is never sectioned:
+	// space ownership, not forest ownership, is its distribution axis.
+	// Refuse rather than silently ignore an explicit sectioning request —
+	// the one engine-specific Sections mismatch.
 	if cfg.Core.Sections > 1 {
 		return nil, fmt.Errorf("engine: geo does not support sectioned forests (Sections=%d)", cfg.Core.Sections)
 	}

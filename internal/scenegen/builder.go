@@ -1,0 +1,110 @@
+package scenegen
+
+import (
+	"repro/internal/brdf"
+	"repro/internal/geom"
+	"repro/internal/vecmath"
+)
+
+// Builder accumulates patches with material bookkeeping. It is the one
+// construction substrate shared by the hand-built scenes (internal/scenes)
+// and the procedural families in this package, so generated and bundled
+// geometry are made of exactly the same primitives.
+type Builder struct {
+	patches   []geom.Patch
+	materials []brdf.Material
+	matIndex  map[string]int
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{matIndex: map[string]int{}}
+}
+
+// Material interns m by name and returns its index.
+func (b *Builder) Material(m brdf.Material) int {
+	if i, ok := b.matIndex[m.Name]; ok {
+		return i
+	}
+	b.materials = append(b.materials, m)
+	i := len(b.materials) - 1
+	b.matIndex[m.Name] = i
+	return i
+}
+
+// Quad adds one parallelogram patch.
+func (b *Builder) Quad(origin, edgeS, edgeT vecmath.Vec3, mat int) {
+	b.patches = append(b.patches, geom.Patch{
+		Origin: origin, EdgeS: edgeS, EdgeT: edgeT, Material: mat,
+	})
+}
+
+// Light adds an emissive patch (diffuse unless collimation < 1).
+func (b *Builder) Light(origin, edgeS, edgeT vecmath.Vec3, emission vecmath.Vec3, collimation float64, mat int) {
+	b.patches = append(b.patches, geom.Patch{
+		Origin: origin, EdgeS: edgeS, EdgeT: edgeT,
+		Material: mat, Emission: emission, Collimation: collimation,
+	})
+}
+
+// Room adds the six inward-facing walls of an axis-aligned box
+// [min, max], with separate materials for floor / ceiling / the four walls.
+func (b *Builder) Room(min, max vecmath.Vec3, floor, ceiling, walls int) {
+	d := max.Sub(min)
+	// floor z=min.Z, normal +z
+	b.Quad(min, vecmath.V(d.X, 0, 0), vecmath.V(0, d.Y, 0), floor)
+	// ceiling z=max.Z, normal -z
+	b.Quad(vecmath.V(min.X, min.Y, max.Z), vecmath.V(0, d.Y, 0), vecmath.V(d.X, 0, 0), ceiling)
+	// x=min.X wall, normal +x
+	b.Quad(min, vecmath.V(0, d.Y, 0), vecmath.V(0, 0, d.Z), walls)
+	// x=max.X wall, normal -x
+	b.Quad(vecmath.V(max.X, min.Y, min.Z), vecmath.V(0, 0, d.Z), vecmath.V(0, d.Y, 0), walls)
+	// y=min.Y wall, normal +y
+	b.Quad(min, vecmath.V(0, 0, d.Z), vecmath.V(d.X, 0, 0), walls)
+	// y=max.Y wall, normal -y
+	b.Quad(vecmath.V(min.X, max.Y, min.Z), vecmath.V(d.X, 0, 0), vecmath.V(0, 0, d.Z), walls)
+}
+
+// Box adds the six outward-facing faces of an axis-aligned box [min, max].
+func (b *Builder) Box(min, max vecmath.Vec3, mat int) {
+	d := max.Sub(min)
+	// bottom z=min.Z, normal -z
+	b.Quad(min, vecmath.V(0, d.Y, 0), vecmath.V(d.X, 0, 0), mat)
+	// top z=max.Z, normal +z
+	b.Quad(vecmath.V(min.X, min.Y, max.Z), vecmath.V(d.X, 0, 0), vecmath.V(0, d.Y, 0), mat)
+	// x=min.X, normal -x
+	b.Quad(min, vecmath.V(0, d.Y, 0), vecmath.V(0, 0, d.Z), mat)
+	// x=max.X, normal +x
+	b.Quad(vecmath.V(max.X, min.Y, min.Z), vecmath.V(0, 0, d.Z), vecmath.V(0, d.Y, 0), mat)
+	// y=min.Y, normal -y
+	b.Quad(min, vecmath.V(0, 0, d.Z), vecmath.V(d.X, 0, 0), mat)
+	// y=max.Y, normal +y
+	b.Quad(vecmath.V(min.X, max.Y, min.Z), vecmath.V(d.X, 0, 0), vecmath.V(0, 0, d.Z), mat)
+}
+
+// Legs adds four 4-sided legs (no caps) under a table top.
+func (b *Builder) Legs(min, max vecmath.Vec3, inset, thick, height float64, mat int) {
+	for _, corner := range [4][2]float64{
+		{min.X + inset, min.Y + inset},
+		{max.X - inset - thick, min.Y + inset},
+		{min.X + inset, max.Y - inset - thick},
+		{max.X - inset - thick, max.Y - inset - thick},
+	} {
+		x, y := corner[0], corner[1]
+		lo := vecmath.V(x, y, min.Z)
+		// four side faces only (tables hide caps)
+		b.Quad(lo, vecmath.V(0, thick, 0), vecmath.V(0, 0, height), mat)
+		b.Quad(vecmath.V(x+thick, y, min.Z), vecmath.V(0, 0, height), vecmath.V(0, thick, 0), mat)
+		b.Quad(lo, vecmath.V(0, 0, height), vecmath.V(thick, 0, 0), mat)
+		b.Quad(vecmath.V(x, y+thick, min.Z), vecmath.V(thick, 0, 0), vecmath.V(0, 0, height), mat)
+	}
+}
+
+// Patches returns the accumulated patches.
+func (b *Builder) Patches() []geom.Patch { return b.patches }
+
+// Materials returns the accumulated material table.
+func (b *Builder) Materials() []brdf.Material { return b.materials }
+
+// NumPatches returns the patch count so far.
+func (b *Builder) NumPatches() int { return len(b.patches) }

@@ -1,0 +1,78 @@
+package scenegen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// FuzzSceneGen is the generator's safety contract under adversarial specs:
+// ANY string Parse accepts must Build into a valid closed scene — interned
+// materials that validate, finite non-degenerate patches, a working octree
+// (geom.NewScene), at least one luminaire, no interior ray escaping — and
+// building must be deterministic. These are the same invariants
+// scenes_test.go pins for the hand-built rooms, generalized over the spec
+// space; a fuzz-found counterexample is a scene the simulation engines
+// could crash or silently diverge on.
+func FuzzSceneGen(f *testing.F) {
+	for _, name := range Families() {
+		f.Add(Prefix + name)
+	}
+	f.Add("gen:office/seed=42/rooms=2/density=0.7")
+	f.Add("gen:office/seed=-9000/rooms=4/density=1")
+	f.Add("gen:lights/seed=3/nx=3/ny=2/collimation=0.05")
+	f.Add("gen:hall/seed=5/length=12.75/mirrors=8")
+	f.Add("gen:adversarial/seed=9/slivers=12/stacks=6/spans=4")
+	f.Add("gen:grid/seed=2/patches=500")
+	f.Add("gen:office/density=0.7/rooms=2/seed=42") // permuted order
+	f.Add("gen:bogus/seed=1")
+	f.Add("gen:office/rooms=2.5")
+	f.Add("gen:office/density=NaN")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := Parse(s)
+		if err != nil {
+			return // rejected specs are out of contract
+		}
+		built, err := Build(spec)
+		if err != nil {
+			t.Fatalf("parsed spec %q failed to build: %v", s, err)
+		}
+		// Canonicalization closes over parsing: the canonical name must
+		// reparse to the identical spec and rebuild identical geometry.
+		spec2, err := Parse(built.Name)
+		if err != nil {
+			t.Fatalf("canonical name %q does not parse: %v", built.Name, err)
+		}
+		built2, err := Build(spec2)
+		if err != nil {
+			t.Fatalf("canonical name %q does not build: %v", built.Name, err)
+		}
+		if built.Fingerprint() != built2.Fingerprint() {
+			t.Fatalf("spec %q: canonical rebuild changed geometry", s)
+		}
+		// No NaN/Inf may leak out of the generator.
+		for i := range built.Patches {
+			p := &built.Patches[i]
+			for _, v := range [...]float64{
+				p.Origin.X, p.Origin.Y, p.Origin.Z,
+				p.EdgeS.X, p.EdgeS.Y, p.EdgeS.Z,
+				p.EdgeT.X, p.EdgeT.Y, p.EdgeT.Z,
+				p.Emission.X, p.Emission.Y, p.Emission.Z,
+				p.Collimation,
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("spec %q: patch %d has non-finite field", s, i)
+				}
+			}
+		}
+		// Finalization must succeed (patch Finish + octree build) and the
+		// result must satisfy the scene invariants, closedness included.
+		g, err := geom.NewScene(built.Patches)
+		if err != nil {
+			t.Fatalf("spec %q: scene finalization failed: %v", s, err)
+		}
+		checkValid(t, s, built, g)
+	})
+}

@@ -10,12 +10,23 @@
 // material character (where the mirrors are, which lights are collimated)
 // and general layout, which are the properties the parallel experiments
 // depend on.
+//
+// Beyond the hand-built rooms, ByName also resolves generator spec strings
+// ("gen:office/seed=42/rooms=2/density=0.7", see internal/scenegen): the
+// procedural families that give the conformance matrices, fuzzers and
+// benchmarks an unbounded scene space. A generated Scene's Name is the
+// canonical spec, so answer files round-trip generated scenes exactly like
+// built-in ones.
 package scenes
 
 import (
+	"fmt"
+	"strings"
+
 	"repro/internal/brdf"
 	"repro/internal/geom"
 	"repro/internal/sampler"
+	"repro/internal/scenegen"
 	"repro/internal/vecmath"
 )
 
@@ -34,111 +45,33 @@ func (s *Scene) Material(i int) *brdf.Material {
 // DefiningPolygons returns the defining polygon count (Table 5.1 col 1).
 func (s *Scene) DefiningPolygons() int { return len(s.Geom.Patches) }
 
-// builder accumulates patches with material bookkeeping.
+// builder wraps the shared construction substrate (scenegen.Builder) with
+// scene assembly: the hand-built rooms and the generated families are made
+// of exactly the same primitives.
 type builder struct {
-	patches   []geom.Patch
-	materials []brdf.Material
-	matIndex  map[string]int
+	*scenegen.Builder
 }
 
 func newBuilder() *builder {
-	return &builder{matIndex: map[string]int{}}
-}
-
-func (b *builder) material(m brdf.Material) int {
-	if i, ok := b.matIndex[m.Name]; ok {
-		return i
-	}
-	b.materials = append(b.materials, m)
-	i := len(b.materials) - 1
-	b.matIndex[m.Name] = i
-	return i
-}
-
-// quad adds one parallelogram patch.
-func (b *builder) quad(origin, edgeS, edgeT vecmath.Vec3, mat int) {
-	b.patches = append(b.patches, geom.Patch{
-		Origin: origin, EdgeS: edgeS, EdgeT: edgeT, Material: mat,
-	})
-}
-
-// light adds an emissive patch (diffuse unless collimation < 1).
-func (b *builder) light(origin, edgeS, edgeT vecmath.Vec3, emission vecmath.Vec3, collimation float64, mat int) {
-	b.patches = append(b.patches, geom.Patch{
-		Origin: origin, EdgeS: edgeS, EdgeT: edgeT,
-		Material: mat, Emission: emission, Collimation: collimation,
-	})
-}
-
-// room adds the six inward-facing walls of an axis-aligned box
-// [min, max], with separate materials for floor / ceiling / the four walls.
-func (b *builder) room(min, max vecmath.Vec3, floor, ceiling, walls int) {
-	d := max.Sub(min)
-	// floor z=min.Z, normal +z
-	b.quad(min, vecmath.V(d.X, 0, 0), vecmath.V(0, d.Y, 0), floor)
-	// ceiling z=max.Z, normal -z
-	b.quad(vecmath.V(min.X, min.Y, max.Z), vecmath.V(0, d.Y, 0), vecmath.V(d.X, 0, 0), ceiling)
-	// x=min.X wall, normal +x
-	b.quad(min, vecmath.V(0, d.Y, 0), vecmath.V(0, 0, d.Z), walls)
-	// x=max.X wall, normal -x
-	b.quad(vecmath.V(max.X, min.Y, min.Z), vecmath.V(0, 0, d.Z), vecmath.V(0, d.Y, 0), walls)
-	// y=min.Y wall, normal +y
-	b.quad(min, vecmath.V(0, 0, d.Z), vecmath.V(d.X, 0, 0), walls)
-	// y=max.Y wall, normal -y
-	b.quad(vecmath.V(min.X, max.Y, min.Z), vecmath.V(d.X, 0, 0), vecmath.V(0, 0, d.Z), walls)
-}
-
-// box adds the six outward-facing faces of an axis-aligned box [min, max].
-func (b *builder) box(min, max vecmath.Vec3, mat int) {
-	d := max.Sub(min)
-	// bottom z=min.Z, normal -z
-	b.quad(min, vecmath.V(0, d.Y, 0), vecmath.V(d.X, 0, 0), mat)
-	// top z=max.Z, normal +z
-	b.quad(vecmath.V(min.X, min.Y, max.Z), vecmath.V(d.X, 0, 0), vecmath.V(0, d.Y, 0), mat)
-	// x=min.X, normal -x
-	b.quad(min, vecmath.V(0, d.Y, 0), vecmath.V(0, 0, d.Z), mat)
-	// x=max.X, normal +x
-	b.quad(vecmath.V(max.X, min.Y, min.Z), vecmath.V(0, 0, d.Z), vecmath.V(0, d.Y, 0), mat)
-	// y=min.Y, normal -y
-	b.quad(min, vecmath.V(0, 0, d.Z), vecmath.V(d.X, 0, 0), mat)
-	// y=max.Y, normal +y
-	b.quad(vecmath.V(min.X, max.Y, min.Z), vecmath.V(d.X, 0, 0), vecmath.V(0, 0, d.Z), mat)
-}
-
-// legs adds four 4-sided legs (no caps) under a table top.
-func (b *builder) legs(min, max vecmath.Vec3, inset, thick, height float64, mat int) {
-	for _, corner := range [4][2]float64{
-		{min.X + inset, min.Y + inset},
-		{max.X - inset - thick, min.Y + inset},
-		{min.X + inset, max.Y - inset - thick},
-		{max.X - inset - thick, max.Y - inset - thick},
-	} {
-		x, y := corner[0], corner[1]
-		lo := vecmath.V(x, y, min.Z)
-		// four side faces only (tables hide caps)
-		b.quad(lo, vecmath.V(0, thick, 0), vecmath.V(0, 0, height), mat)
-		b.quad(vecmath.V(x+thick, y, min.Z), vecmath.V(0, 0, height), vecmath.V(0, thick, 0), mat)
-		b.quad(lo, vecmath.V(0, 0, height), vecmath.V(thick, 0, 0), mat)
-		b.quad(vecmath.V(x, y+thick, min.Z), vecmath.V(thick, 0, 0), vecmath.V(0, 0, height), mat)
-	}
+	return &builder{scenegen.NewBuilder()}
 }
 
 func (b *builder) build(name string) (*Scene, error) {
-	g, err := geom.NewScene(b.patches)
+	g, err := geom.NewScene(b.Patches())
 	if err != nil {
 		return nil, err
 	}
-	return &Scene{Name: name, Geom: g, Materials: b.materials}, nil
+	return &Scene{Name: name, Geom: g, Materials: b.Materials()}, nil
 }
 
 // Quickstart returns a minimal single-room scene: white walls, one ceiling
 // light, one floor — a few seconds to converge. It is the example scene.
 func Quickstart() (*Scene, error) {
 	b := newBuilder()
-	white := b.material(brdf.MatteWhite())
-	gray := b.material(brdf.MatteGray())
-	b.room(vecmath.V(0, 0, 0), vecmath.V(4, 4, 3), gray, white, white)
-	b.light(vecmath.V(1.5, 1.5, 2.99), vecmath.V(0, 1, 0), vecmath.V(1, 0, 0),
+	white := b.Material(brdf.MatteWhite())
+	gray := b.Material(brdf.MatteGray())
+	b.Room(vecmath.V(0, 0, 0), vecmath.V(4, 4, 3), gray, white, white)
+	b.Light(vecmath.V(1.5, 1.5, 2.99), vecmath.V(0, 1, 0), vecmath.V(1, 0, 0),
 		vecmath.V(40, 40, 40), 1, white)
 	return b.build("quickstart")
 }
@@ -148,48 +81,48 @@ func Quickstart() (*Scene, error) {
 // classic 5.5m box scaled to unit-ish metres.
 func CornellBox() (*Scene, error) {
 	b := newBuilder()
-	white := b.material(brdf.MatteWhite())
-	red := b.material(brdf.MatteRed())
-	green := b.material(brdf.MatteGreen())
-	mirror := b.material(brdf.MirrorMaterial())
+	white := b.Material(brdf.MatteWhite())
+	red := b.Material(brdf.MatteRed())
+	green := b.Material(brdf.MatteGreen())
+	mirror := b.Material(brdf.MirrorMaterial())
 
 	const s = 5.5 // box side
 	// Walls individually so left/right get their colours (6 patches).
 	// floor
-	b.quad(vecmath.V(0, 0, 0), vecmath.V(s, 0, 0), vecmath.V(0, s, 0), white)
+	b.Quad(vecmath.V(0, 0, 0), vecmath.V(s, 0, 0), vecmath.V(0, s, 0), white)
 	// ceiling
-	b.quad(vecmath.V(0, 0, s), vecmath.V(0, s, 0), vecmath.V(s, 0, 0), white)
+	b.Quad(vecmath.V(0, 0, s), vecmath.V(0, s, 0), vecmath.V(s, 0, 0), white)
 	// left (x=0) red, normal +x
-	b.quad(vecmath.V(0, 0, 0), vecmath.V(0, s, 0), vecmath.V(0, 0, s), red)
+	b.Quad(vecmath.V(0, 0, 0), vecmath.V(0, s, 0), vecmath.V(0, 0, s), red)
 	// right (x=s) green, normal -x
-	b.quad(vecmath.V(s, 0, 0), vecmath.V(0, 0, s), vecmath.V(0, s, 0), green)
+	b.Quad(vecmath.V(s, 0, 0), vecmath.V(0, 0, s), vecmath.V(0, s, 0), green)
 	// back (y=s), normal -y
-	b.quad(vecmath.V(0, s, 0), vecmath.V(s, 0, 0), vecmath.V(0, 0, s), white)
+	b.Quad(vecmath.V(0, s, 0), vecmath.V(s, 0, 0), vecmath.V(0, 0, s), white)
 	// front (y=0) closes the box, normal +y
-	b.quad(vecmath.V(0, 0, 0), vecmath.V(0, 0, s), vecmath.V(s, 0, 0), white)
+	b.Quad(vecmath.V(0, 0, 0), vecmath.V(0, 0, s), vecmath.V(s, 0, 0), white)
 
 	// Ceiling light with a 4-strip surround frame (5 patches).
 	const l0, l1, lz = 2.0, 3.5, 5.49
-	b.light(vecmath.V(l0, l0, lz), vecmath.V(0, l1-l0, 0), vecmath.V(l1-l0, 0, 0),
+	b.Light(vecmath.V(l0, l0, lz), vecmath.V(0, l1-l0, 0), vecmath.V(l1-l0, 0, 0),
 		vecmath.V(60, 60, 48), 1, white)
 	const f = 0.25
-	b.quad(vecmath.V(l0-f, l0-f, lz-0.001), vecmath.V(0, l1-l0+2*f, 0), vecmath.V(f, 0, 0), white)
-	b.quad(vecmath.V(l1, l0-f, lz-0.001), vecmath.V(0, l1-l0+2*f, 0), vecmath.V(f, 0, 0), white)
-	b.quad(vecmath.V(l0, l0-f, lz-0.001), vecmath.V(0, f, 0), vecmath.V(l1-l0, 0, 0), white)
-	b.quad(vecmath.V(l0, l1, lz-0.001), vecmath.V(0, f, 0), vecmath.V(l1-l0, 0, 0), white)
+	b.Quad(vecmath.V(l0-f, l0-f, lz-0.001), vecmath.V(0, l1-l0+2*f, 0), vecmath.V(f, 0, 0), white)
+	b.Quad(vecmath.V(l1, l0-f, lz-0.001), vecmath.V(0, l1-l0+2*f, 0), vecmath.V(f, 0, 0), white)
+	b.Quad(vecmath.V(l0, l0-f, lz-0.001), vecmath.V(0, f, 0), vecmath.V(l1-l0, 0, 0), white)
+	b.Quad(vecmath.V(l0, l1, lz-0.001), vecmath.V(0, f, 0), vecmath.V(l1-l0, 0, 0), white)
 
 	// The two classic boxes (12 patches).
-	b.box(vecmath.V(0.7, 3.0, 0), vecmath.V(2.3, 4.6, 1.65), white) // short
-	b.box(vecmath.V(3.2, 1.2, 0), vecmath.V(4.7, 2.7, 3.3), white)  // tall
+	b.Box(vecmath.V(0.7, 3.0, 0), vecmath.V(2.3, 4.6, 1.65), white) // short
+	b.Box(vecmath.V(3.2, 1.2, 0), vecmath.V(4.7, 2.7, 3.3), white)  // tall
 
 	// The floating mirror: a two-sided panel in the centre of the room,
 	// tilted toward the viewer, with a 4-strip frame (6 patches).
 	mo := vecmath.V(1.9, 2.6, 2.1)
 	me1 := vecmath.V(1.7, 0, 0.35)
 	me2 := vecmath.V(0, 1.3, 0)
-	b.quad(mo, me1, me2, mirror)                // front face
-	b.quad(mo.Add(me2), me1, me2.Neg(), mirror) // back face (flipped winding)
-	frame := func(o, e1, e2 vecmath.Vec3) { b.quad(o, e1, e2, white) }
+	b.Quad(mo, me1, me2, mirror)                // front face
+	b.Quad(mo.Add(me2), me1, me2.Neg(), mirror) // back face (flipped winding)
+	frame := func(o, e1, e2 vecmath.Vec3) { b.Quad(o, e1, e2, white) }
 	off := me1.Cross(me2).Norm().Scale(0.02)
 	frame(mo.Sub(off), me1, off.Scale(2))
 	frame(mo.Add(me2).Sub(off), me1, off.Scale(2))
@@ -205,28 +138,28 @@ func CornellBox() (*Scene, error) {
 // harpsichord with bench.
 func HarpsichordRoom() (*Scene, error) {
 	b := newBuilder()
-	white := b.material(brdf.MatteWhite())
-	gray := b.material(brdf.MatteGray())
-	wood := b.material(brdf.LacqueredWood())
-	mirror := b.material(brdf.MirrorMaterial())
-	semi := b.material(brdf.SemiGloss())
+	white := b.Material(brdf.MatteWhite())
+	gray := b.Material(brdf.MatteGray())
+	wood := b.Material(brdf.LacqueredWood())
+	mirror := b.Material(brdf.MirrorMaterial())
+	semi := b.Material(brdf.SemiGloss())
 
 	// Room 8 x 6 x 3.5 m (6 patches).
-	b.room(vecmath.V(0, 0, 0), vecmath.V(8, 6, 3.5), gray, white, white)
+	b.Room(vecmath.V(0, 0, 0), vecmath.V(8, 6, 3.5), gray, white, white)
 
 	// Two skylights, each: 4 frame strips + 1 sun panel + 1 sky panel = 12.
 	skylight := func(x0, y0 float64) {
 		const w, d, z = 1.4, 1.0, 3.49
 		// frame
-		b.quad(vecmath.V(x0-0.1, y0-0.1, z), vecmath.V(0, d+0.2, 0), vecmath.V(0.1, 0, 0), white)
-		b.quad(vecmath.V(x0+w, y0-0.1, z), vecmath.V(0, d+0.2, 0), vecmath.V(0.1, 0, 0), white)
-		b.quad(vecmath.V(x0, y0-0.1, z), vecmath.V(0, 0.1, 0), vecmath.V(w, 0, 0), white)
-		b.quad(vecmath.V(x0, y0+d, z), vecmath.V(0, 0.1, 0), vecmath.V(w, 0, 0), white)
+		b.Quad(vecmath.V(x0-0.1, y0-0.1, z), vecmath.V(0, d+0.2, 0), vecmath.V(0.1, 0, 0), white)
+		b.Quad(vecmath.V(x0+w, y0-0.1, z), vecmath.V(0, d+0.2, 0), vecmath.V(0.1, 0, 0), white)
+		b.Quad(vecmath.V(x0, y0-0.1, z), vecmath.V(0, 0.1, 0), vecmath.V(w, 0, 0), white)
+		b.Quad(vecmath.V(x0, y0+d, z), vecmath.V(0, 0.1, 0), vecmath.V(w, 0, 0), white)
 		// sun: strongly collimated, very bright, slightly warm
-		b.light(vecmath.V(x0, y0, z+0.005), vecmath.V(0, d, 0), vecmath.V(w/2, 0, 0),
+		b.Light(vecmath.V(x0, y0, z+0.005), vecmath.V(0, d, 0), vecmath.V(w/2, 0, 0),
 			vecmath.V(900, 870, 780), sampler.SunScale, white)
 		// sky: diffuse, bluish
-		b.light(vecmath.V(x0+w/2, y0, z+0.005), vecmath.V(0, d, 0), vecmath.V(w/2, 0, 0),
+		b.Light(vecmath.V(x0+w/2, y0, z+0.005), vecmath.V(0, d, 0), vecmath.V(w/2, 0, 0),
 			vecmath.V(30, 38, 55), 1, white)
 	}
 	skylight(2.0, 2.2)
@@ -234,43 +167,43 @@ func HarpsichordRoom() (*Scene, error) {
 
 	// Mirrored music shelf on the back wall: mirror + shelf box + 2 books
 	// (1 + 6 + 4 = 11).
-	b.quad(vecmath.V(2.5, 5.99, 1.4), vecmath.V(2.0, 0, 0), vecmath.V(0, 0, 1.0), mirror)
-	b.box(vecmath.V(2.4, 5.7, 1.2), vecmath.V(4.6, 5.99, 1.4), wood)
-	b.quad(vecmath.V(2.8, 5.85, 1.4), vecmath.V(0.5, 0, 0), vecmath.V(0, 0, 0.35), white)
-	b.quad(vecmath.V(3.5, 5.85, 1.4), vecmath.V(0.5, 0, 0), vecmath.V(0, -0.05, 0.35), white)
-	b.quad(vecmath.V(2.8, 5.84, 1.4), vecmath.V(0.5, 0, 0), vecmath.V(0, -0.01, 0), white)
-	b.quad(vecmath.V(3.5, 5.84, 1.4), vecmath.V(0.5, 0, 0), vecmath.V(0, -0.01, 0), white)
+	b.Quad(vecmath.V(2.5, 5.99, 1.4), vecmath.V(2.0, 0, 0), vecmath.V(0, 0, 1.0), mirror)
+	b.Box(vecmath.V(2.4, 5.7, 1.2), vecmath.V(4.6, 5.99, 1.4), wood)
+	b.Quad(vecmath.V(2.8, 5.85, 1.4), vecmath.V(0.5, 0, 0), vecmath.V(0, 0, 0.35), white)
+	b.Quad(vecmath.V(3.5, 5.85, 1.4), vecmath.V(0.5, 0, 0), vecmath.V(0, -0.05, 0.35), white)
+	b.Quad(vecmath.V(2.8, 5.84, 1.4), vecmath.V(0.5, 0, 0), vecmath.V(0, -0.01, 0), white)
+	b.Quad(vecmath.V(3.5, 5.84, 1.4), vecmath.V(0.5, 0, 0), vecmath.V(0, -0.01, 0), white)
 
 	// Harpsichord: body box (6), lid (2: top + underside), keyboard (3),
 	// 4 legs x 4 faces (16), music desk (1), = 28.
 	bodyMin, bodyMax := vecmath.V(2.8, 1.0, 0.75), vecmath.V(5.6, 2.1, 1.0)
-	b.box(bodyMin, bodyMax, wood)
+	b.Box(bodyMin, bodyMax, wood)
 	// lid propped open at ~40 degrees
-	b.quad(vecmath.V(2.8, 2.1, 1.0), vecmath.V(2.8, 0, 0), vecmath.V(0, -0.85, 0.7), wood)
-	b.quad(vecmath.V(2.8, 1.25, 1.7), vecmath.V(2.8, 0, 0), vecmath.V(0, 0.85, -0.7), wood)
+	b.Quad(vecmath.V(2.8, 2.1, 1.0), vecmath.V(2.8, 0, 0), vecmath.V(0, -0.85, 0.7), wood)
+	b.Quad(vecmath.V(2.8, 1.25, 1.7), vecmath.V(2.8, 0, 0), vecmath.V(0, 0.85, -0.7), wood)
 	// keyboard shelf
-	b.quad(vecmath.V(2.8, 0.82, 0.78), vecmath.V(0, 0.18, 0), vecmath.V(2.8, 0, 0), white)
-	b.quad(vecmath.V(2.8, 0.82, 0.74), vecmath.V(2.8, 0, 0), vecmath.V(0, 0.18, 0), gray)
-	b.quad(vecmath.V(2.8, 0.82, 0.74), vecmath.V(2.8, 0, 0), vecmath.V(0, 0, 0.04), gray)
-	b.legs(vecmath.V(2.9, 1.05, 0), vecmath.V(5.5, 2.05, 0.75), 0.05, 0.08, 0.75, wood)
+	b.Quad(vecmath.V(2.8, 0.82, 0.78), vecmath.V(0, 0.18, 0), vecmath.V(2.8, 0, 0), white)
+	b.Quad(vecmath.V(2.8, 0.82, 0.74), vecmath.V(2.8, 0, 0), vecmath.V(0, 0.18, 0), gray)
+	b.Quad(vecmath.V(2.8, 0.82, 0.74), vecmath.V(2.8, 0, 0), vecmath.V(0, 0, 0.04), gray)
+	b.Legs(vecmath.V(2.9, 1.05, 0), vecmath.V(5.5, 2.05, 0.75), 0.05, 0.08, 0.75, wood)
 	// music desk on the body
-	b.quad(vecmath.V(3.4, 1.9, 1.0), vecmath.V(1.2, 0, 0), vecmath.V(0, -0.2, 0.45), wood)
+	b.Quad(vecmath.V(3.4, 1.9, 1.0), vecmath.V(1.2, 0, 0), vecmath.V(0, -0.2, 0.45), wood)
 
 	// Bench: top (1) + 4 legs x 4 (16) = 17.
-	b.quad(vecmath.V(3.6, 0.1, 0.5), vecmath.V(1.2, 0, 0), vecmath.V(0, 0.45, 0), semi)
-	b.legs(vecmath.V(3.6, 0.1, 0), vecmath.V(4.8, 0.55, 0.5), 0.04, 0.06, 0.5, wood)
+	b.Quad(vecmath.V(3.6, 0.1, 0.5), vecmath.V(1.2, 0, 0), vecmath.V(0, 0.45, 0), semi)
+	b.Legs(vecmath.V(3.6, 0.1, 0), vecmath.V(4.8, 0.55, 0.5), 0.04, 0.06, 0.5, wood)
 
 	// Wall decorations: 4 picture frames x 2 patches, door (1), rug (1) = 10.
 	pic := func(x, z float64) {
-		b.quad(vecmath.V(0.01, 0, 0).Add(vecmath.V(0, x, z)), vecmath.V(0, 0.8, 0), vecmath.V(0, 0, 0.6), semi)
-		b.quad(vecmath.V(0.005, 0, 0).Add(vecmath.V(0, x-0.05, z-0.05)), vecmath.V(0, 0.9, 0), vecmath.V(0, 0, 0.7), gray)
+		b.Quad(vecmath.V(0.01, 0, 0).Add(vecmath.V(0, x, z)), vecmath.V(0, 0.8, 0), vecmath.V(0, 0, 0.6), semi)
+		b.Quad(vecmath.V(0.005, 0, 0).Add(vecmath.V(0, x-0.05, z-0.05)), vecmath.V(0, 0.9, 0), vecmath.V(0, 0, 0.7), gray)
 	}
 	pic(1.0, 1.6)
 	pic(2.4, 1.6)
 	pic(3.8, 1.6)
 	pic(5.2, 1.6)
-	b.quad(vecmath.V(7.99, 1.0, 0), vecmath.V(0, 1.0, 0), vecmath.V(0, 0, 2.1), wood)   // door
-	b.quad(vecmath.V(2.5, 0.8, 0.01), vecmath.V(3.5, 0, 0), vecmath.V(0, 2.0, 0), gray) // rug
+	b.Quad(vecmath.V(7.99, 1.0, 0), vecmath.V(0, 1.0, 0), vecmath.V(0, 0, 2.1), wood)   // door
+	b.Quad(vecmath.V(2.5, 0.8, 0.01), vecmath.V(3.5, 0, 0), vecmath.V(0, 2.0, 0), gray) // rug
 
 	return b.build("harpsichord-room")
 }
@@ -281,26 +214,26 @@ func HarpsichordRoom() (*Scene, error) {
 // why the paper sees its most uniform speedups here.
 func ComputerLab() (*Scene, error) {
 	b := newBuilder()
-	white := b.material(brdf.MatteWhite())
-	gray := b.material(brdf.MatteGray())
-	wood := b.material(brdf.LacqueredWood())
-	semi := b.material(brdf.SemiGloss())
+	white := b.Material(brdf.MatteWhite())
+	gray := b.Material(brdf.MatteGray())
+	wood := b.Material(brdf.LacqueredWood())
+	semi := b.Material(brdf.SemiGloss())
 
 	// Room 16 x 12 x 3 m.
-	b.room(vecmath.V(0, 0, 0), vecmath.V(16, 12, 3), gray, white, white)
+	b.Room(vecmath.V(0, 0, 0), vecmath.V(16, 12, 3), gray, white, white)
 
 	// Ceiling light grid: 4 x 3 panels, each with 4 frame strips (12 * 5 = 60).
 	for i := 0; i < 4; i++ {
 		for j := 0; j < 3; j++ {
 			x := 1.5 + float64(i)*3.6
 			y := 1.5 + float64(j)*3.6
-			b.light(vecmath.V(x, y, 2.99), vecmath.V(0, 1.2, 0), vecmath.V(1.2, 0, 0),
+			b.Light(vecmath.V(x, y, 2.99), vecmath.V(0, 1.2, 0), vecmath.V(1.2, 0, 0),
 				vecmath.V(55, 55, 50), 1, white)
 			const f = 0.12
-			b.quad(vecmath.V(x-f, y-f, 2.985), vecmath.V(0, 1.2+2*f, 0), vecmath.V(f, 0, 0), white)
-			b.quad(vecmath.V(x+1.2, y-f, 2.985), vecmath.V(0, 1.2+2*f, 0), vecmath.V(f, 0, 0), white)
-			b.quad(vecmath.V(x, y-f, 2.985), vecmath.V(0, f, 0), vecmath.V(1.2, 0, 0), white)
-			b.quad(vecmath.V(x, y+1.2, 2.985), vecmath.V(0, f, 0), vecmath.V(1.2, 0, 0), white)
+			b.Quad(vecmath.V(x-f, y-f, 2.985), vecmath.V(0, 1.2+2*f, 0), vecmath.V(f, 0, 0), white)
+			b.Quad(vecmath.V(x+1.2, y-f, 2.985), vecmath.V(0, 1.2+2*f, 0), vecmath.V(f, 0, 0), white)
+			b.Quad(vecmath.V(x, y-f, 2.985), vecmath.V(0, f, 0), vecmath.V(1.2, 0, 0), white)
+			b.Quad(vecmath.V(x, y+1.2, 2.985), vecmath.V(0, f, 0), vecmath.V(1.2, 0, 0), white)
 		}
 	}
 
@@ -309,19 +242,19 @@ func ComputerLab() (*Scene, error) {
 	// legs x 4 (16) = 64 patches per station.
 	station := func(x, y float64) {
 		deskMin, deskMax := vecmath.V(x, y, 0.72), vecmath.V(x+1.4, y+0.8, 0.76)
-		b.box(deskMin, deskMax, wood)                                                     // 6 (top slab)
-		b.legs(vecmath.V(x, y, 0), vecmath.V(x+1.4, y+0.8, 0.72), 0.04, 0.06, 0.72, gray) // 16
+		b.Box(deskMin, deskMax, wood)                                                     // 6 (top slab)
+		b.Legs(vecmath.V(x, y, 0), vecmath.V(x+1.4, y+0.8, 0.72), 0.04, 0.06, 0.72, gray) // 16
 		// monitor
-		b.box(vecmath.V(x+0.45, y+0.45, 0.76), vecmath.V(x+0.95, y+0.72, 1.2), semi)               // 6
-		b.quad(vecmath.V(x+0.5, y+0.449, 0.82), vecmath.V(0.4, 0, 0), vecmath.V(0, 0, 0.32), gray) // screen
+		b.Box(vecmath.V(x+0.45, y+0.45, 0.76), vecmath.V(x+0.95, y+0.72, 1.2), semi)               // 6
+		b.Quad(vecmath.V(x+0.5, y+0.449, 0.82), vecmath.V(0.4, 0, 0), vecmath.V(0, 0, 0.32), gray) // screen
 		// case under desk
-		b.box(vecmath.V(x+1.0, y+0.2, 0), vecmath.V(x+1.25, y+0.65, 0.45), semi) // 6
+		b.Box(vecmath.V(x+1.0, y+0.2, 0), vecmath.V(x+1.25, y+0.65, 0.45), semi) // 6
 		// keyboard
-		b.box(vecmath.V(x+0.45, y+0.08, 0.76), vecmath.V(x+0.95, y+0.28, 0.79), semi) // 6
+		b.Box(vecmath.V(x+0.45, y+0.08, 0.76), vecmath.V(x+0.95, y+0.28, 0.79), semi) // 6
 		// chair
-		b.box(vecmath.V(x+0.45, y-0.65, 0.42), vecmath.V(x+0.95, y-0.15, 0.48), gray)             // seat 6
-		b.box(vecmath.V(x+0.45, y-0.20, 0.48), vecmath.V(x+0.95, y-0.14, 1.0), gray)              // back 6
-		b.legs(vecmath.V(x+0.5, y-0.6, 0), vecmath.V(x+0.9, y-0.2, 0.42), 0.02, 0.05, 0.42, gray) // 16
+		b.Box(vecmath.V(x+0.45, y-0.65, 0.42), vecmath.V(x+0.95, y-0.15, 0.48), gray)             // seat 6
+		b.Box(vecmath.V(x+0.45, y-0.20, 0.48), vecmath.V(x+0.95, y-0.14, 1.0), gray)              // back 6
+		b.Legs(vecmath.V(x+0.5, y-0.6, 0), vecmath.V(x+0.9, y-0.2, 0.42), 0.02, 0.05, 0.42, gray) // 16
 	}
 	// 5 rows x 6 stations = 30 stations * 62 patches ≈ 1860.
 	for row := 0; row < 5; row++ {
@@ -331,28 +264,55 @@ func ComputerLab() (*Scene, error) {
 	}
 
 	// Whiteboard and door.
-	b.quad(vecmath.V(0.01, 3, 0.9), vecmath.V(0, 4, 0), vecmath.V(0, 0, 1.4), white)
-	b.quad(vecmath.V(15.99, 5, 0), vecmath.V(0, 1.1, 0), vecmath.V(0, 0, 2.1), wood)
+	b.Quad(vecmath.V(0.01, 3, 0.9), vecmath.V(0, 4, 0), vecmath.V(0, 0, 1.4), white)
+	b.Quad(vecmath.V(15.99, 5, 0), vecmath.V(0, 1.1, 0), vecmath.V(0, 0, 2.1), wood)
 
 	return b.build("computer-lab")
 }
 
-// ByName returns a scene constructor by its canonical name, for CLIs.
-func ByName(name string) (func() (*Scene, error), bool) {
-	switch name {
-	case "quickstart":
-		return Quickstart, true
-	case "cornell", "cornell-box":
-		return CornellBox, true
-	case "harpsichord", "harpsichord-room":
-		return HarpsichordRoom, true
-	case "lab", "computer-lab":
-		return ComputerLab, true
+// Generate builds the procedural scene described by a parsed generator
+// spec. The returned Scene's Name is the canonical spec string, so saving
+// and reloading an answer computed on it rebuilds the identical geometry.
+func Generate(spec scenegen.Spec) (*Scene, error) {
+	built, err := scenegen.Build(spec)
+	if err != nil {
+		return nil, err
 	}
-	return nil, false
+	g, err := geom.NewScene(built.Patches)
+	if err != nil {
+		return nil, fmt.Errorf("scenes: generated scene %q invalid: %w", built.Name, err)
+	}
+	return &Scene{Name: built.Name, Geom: g, Materials: built.Materials}, nil
 }
 
-// Names lists the canonical scene names.
+// ByName returns a scene constructor by canonical name or generator spec
+// ("gen:<family>/seed=N/..."), for CLIs and answer files. Unknown names
+// error with the full menu of built-in scenes and generator families.
+func ByName(name string) (func() (*Scene, error), error) {
+	if scenegen.IsSpec(name) {
+		spec, err := scenegen.Parse(name)
+		if err != nil {
+			return nil, err
+		}
+		return func() (*Scene, error) { return Generate(spec) }, nil
+	}
+	switch name {
+	case "quickstart":
+		return Quickstart, nil
+	case "cornell", "cornell-box":
+		return CornellBox, nil
+	case "harpsichord", "harpsichord-room":
+		return HarpsichordRoom, nil
+	case "lab", "computer-lab":
+		return ComputerLab, nil
+	}
+	return nil, fmt.Errorf(
+		"scenes: unknown scene %q: built-in scenes are %s; generated families are %s (spec gen:<family>/seed=N/param=value/...)",
+		name, strings.Join(Names(), ", "), strings.Join(scenegen.Families(), ", "))
+}
+
+// Names lists the canonical built-in scene names. Generated families are
+// named by spec strings; see scenegen.Families.
 func Names() []string {
 	return []string{"quickstart", "cornell-box", "harpsichord-room", "computer-lab"}
 }

@@ -2,12 +2,14 @@ package scenes
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/brdf"
 	"repro/internal/geom"
 	"repro/internal/rng"
 	"repro/internal/sampler"
+	"repro/internal/scenegen"
 	"repro/internal/vecmath"
 )
 
@@ -144,9 +146,9 @@ func TestPolygonCountOrdering(t *testing.T) {
 
 func TestAllScenesMaterialsValid(t *testing.T) {
 	for _, name := range Names() {
-		ctor, ok := ByName(name)
-		if !ok {
-			t.Fatalf("ByName(%q) missing", name)
+		ctor, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
 		}
 		s, err := ctor()
 		if err != nil {
@@ -168,8 +170,47 @@ func TestAllScenesMaterialsValid(t *testing.T) {
 }
 
 func TestByNameUnknown(t *testing.T) {
-	if _, ok := ByName("nonexistent"); ok {
+	_, err := ByName("nonexistent")
+	if err == nil {
 		t.Fatal("unknown scene resolved")
+	}
+	// The error is the CLI's menu: it must list the built-in names and the
+	// generator families so a typo'd -scene flag is self-correcting.
+	for _, want := range append(Names(), scenegen.Families()...) {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-scene error does not mention %q: %v", want, err)
+		}
+	}
+}
+
+func TestByNameGeneratedSpec(t *testing.T) {
+	ctor, err := ByName("gen:office/seed=42/rooms=2/density=0.7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ctor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scene's name is the canonical spec: ByName(s.Name) must rebuild
+	// the identical geometry (the answer-file round-trip contract).
+	if !scenegen.IsSpec(s.Name) {
+		t.Fatalf("generated scene name %q is not a spec", s.Name)
+	}
+	ctor2, err := ByName(s.Name)
+	if err != nil {
+		t.Fatalf("canonical name %q does not resolve: %v", s.Name, err)
+	}
+	s2, err := ctor2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Name != s.Name || s2.DefiningPolygons() != s.DefiningPolygons() {
+		t.Fatalf("canonical round-trip diverged: %q/%d vs %q/%d",
+			s.Name, s.DefiningPolygons(), s2.Name, s2.DefiningPolygons())
+	}
+	if _, err := ByName("gen:office/bogus=1"); err == nil {
+		t.Fatal("invalid generator spec resolved")
 	}
 }
 

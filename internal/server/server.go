@@ -12,21 +12,23 @@
 //
 //	GET /render?answer=FILE.pbf|scene=NAME&eye=x,y,z&lookat=x,y,z&up=x,y,z
 //	           &fov=F&w=W&h=H&samples=N&seed=S&exposure=E   → image/png
-//	GET /scenes   → JSON list of built-in scenes
+//	GET /scenes   → JSON list of built-in scenes + generator families
 //	GET /healthz  → liveness + cache occupancy
 //	GET /statz    → request/render/cache counters and timing totals
 //
 // `answer` names a .pbf file inside Config.AnswerDir; `scene` names a
-// built-in scene, which is simulated once on first request (stage one run
-// lazily, Config.SimPhotons photons on the shared engine) and then served
-// from the same cache. Responses carry X-Cache (HIT/MISS) and X-Render-Ms
-// timing headers.
+// built-in scene or a generator spec (gen:<family>/seed=N/..., see
+// internal/scenegen), which is simulated once on first request (stage one
+// run lazily, Config.SimPhotons photons on the shared engine) and then
+// served from the same cache — the canonical spec is the cache key.
+// Responses carry X-Cache (HIT/MISS) and X-Render-Ms timing headers.
 package server
 
 import (
 	"bytes"
 	"container/list"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -42,6 +44,7 @@ import (
 	"repro/internal/answer"
 	"repro/internal/bintree"
 	"repro/internal/core"
+	"repro/internal/scenegen"
 	"repro/internal/scenes"
 	"repro/internal/shared"
 	"repro/internal/vecmath"
@@ -251,11 +254,18 @@ func (e *entry) loadAnswer(path string) {
 	e.scene, e.forest, e.emitted = sc, sol.Forest, sol.EmittedPhotons
 }
 
-// simulateScene populates e by running stage one on a built-in scene.
+// errBadScene marks scene-resolution failures — an unknown built-in name
+// or an invalid generator spec. They are the client's error (the scene the
+// request names does not exist), so the handler maps them to 404 rather
+// than a 500 that monitoring would page on.
+var errBadScene = errors.New("bad scene")
+
+// simulateScene populates e by running stage one on a built-in scene or
+// generator spec.
 func (e *entry) simulateScene(name string, photons int64, workers int) {
-	ctor, ok := scenes.ByName(name)
-	if !ok {
-		e.err = fmt.Errorf("unknown scene %q (have %v)", name, scenes.Names())
+	ctor, err := scenes.ByName(name)
+	if err != nil {
+		e.err = fmt.Errorf("%w: %v", errBadScene, err)
 		return
 	}
 	sc, err := ctor()
@@ -409,9 +419,22 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 		fill = func(e *entry) { e.loadAnswer(path) }
 		notFound = os.IsNotExist
 	} else {
-		key = "scene:" + sceneName
-		fill = func(e *entry) { e.simulateScene(sceneName, s.cfg.SimPhotons, s.cfg.SimWorkers) }
-		notFound = func(err error) bool { return strings.Contains(err.Error(), "unknown scene") }
+		if scenegen.IsSpec(sceneName) {
+			// Canonicalize generator specs before keying: permuted or
+			// defaults-omitted spellings of the same scene must share one
+			// cache entry (and one stage-one simulation), and an
+			// unparsable spec is a 404 before it ever occupies a slot.
+			spec, err := scenegen.Parse(sceneName)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			sceneName = spec.String()
+		}
+		name := sceneName
+		key = "scene:" + name
+		fill = func(e *entry) { e.simulateScene(name, s.cfg.SimPhotons, s.cfg.SimWorkers) }
+		notFound = func(err error) bool { return errors.Is(err, errBadScene) }
 	}
 	e, found := s.lookup(key)
 	s.countLookup(found)
@@ -487,7 +510,12 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 func (s *Server) handleScenes(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{"scenes": scenes.Names()})
+	// scenes: the built-in names; gen_families: the procedural families
+	// accepted as scene=gen:<family>/seed=N/... specs.
+	writeJSON(w, map[string]any{
+		"scenes":       scenes.Names(),
+		"gen_families": scenegen.Families(),
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

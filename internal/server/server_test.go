@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/answer"
 	"repro/internal/core"
+	"repro/internal/scenegen"
 	"repro/internal/scenes"
 )
 
@@ -90,13 +91,17 @@ func TestServeHealthzAndScenes(t *testing.T) {
 		t.Fatalf("/scenes = %d", resp.StatusCode)
 	}
 	var sc struct {
-		Scenes []string `json:"scenes"`
+		Scenes      []string `json:"scenes"`
+		GenFamilies []string `json:"gen_families"`
 	}
 	if err := json.Unmarshal(body, &sc); err != nil {
 		t.Fatalf("/scenes not JSON: %v", err)
 	}
 	if len(sc.Scenes) != len(scenes.Names()) {
 		t.Errorf("scenes = %v, want %v", sc.Scenes, scenes.Names())
+	}
+	if len(sc.GenFamilies) != len(scenegen.Families()) {
+		t.Errorf("gen_families = %v, want %v", sc.GenFamilies, scenegen.Families())
 	}
 }
 
@@ -152,6 +157,40 @@ func TestServeOnDemandScene(t *testing.T) {
 	m := s.MetricsSnapshot()
 	if m["renders"] != 1 || m["cache_misses"] != 1 {
 		t.Errorf("metrics after one scene render: %v", m)
+	}
+}
+
+// TestServeGeneratedScene: generator specs work as on-demand scenes. The
+// spec travels as a query value containing '/' and '=' characters, so this
+// also pins that URL parsing keeps the full spec intact, and that an
+// unparsable spec maps to a client error rather than a 500 retry loop.
+func TestServeGeneratedScene(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{})
+	resp, body := get(t, ts.URL+"/render?scene=gen:office/seed=42/rooms=2/density=0.7&w=48&h=32")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("generated scene render = %d: %s", resp.StatusCode, body)
+	}
+	if _, err := png.Decode(bytes.NewReader(body)); err != nil {
+		t.Fatalf("generated scene response not a PNG: %v", err)
+	}
+	m := s.MetricsSnapshot()
+	if m["renders"] != 1 || m["cache_misses"] != 1 {
+		t.Errorf("metrics after one generated-scene render: %v", m)
+	}
+	// Second hit comes from cache: the canonical spec is the cache key,
+	// so a permuted spelling of the same spec must also hit (not pay a
+	// second stage-one simulation).
+	resp, _ = get(t, ts.URL+"/render?scene=gen:office/seed=42/rooms=2/density=0.7&w=48&h=32")
+	if xc := resp.Header.Get("X-Cache"); xc != "HIT" {
+		t.Errorf("second generated-scene request X-Cache = %q, want HIT", xc)
+	}
+	resp, _ = get(t, ts.URL+"/render?scene=gen:office/density=0.7/seed=42/rooms=2&w=48&h=32")
+	if xc := resp.Header.Get("X-Cache"); xc != "HIT" {
+		t.Errorf("permuted-spec request X-Cache = %q, want HIT (canonical key)", xc)
+	}
+	resp, _ = get(t, ts.URL+"/render?scene=gen:office/rooms=99&w=48&h=32")
+	if resp.StatusCode == http.StatusOK || resp.StatusCode >= 500 {
+		t.Errorf("invalid spec returned %d, want a 4xx/404-class error", resp.StatusCode)
 	}
 }
 

@@ -47,6 +47,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/engine"
+	"repro/internal/scenegen"
 	"repro/internal/scenes"
 	"repro/internal/vecmath"
 	"repro/internal/view"
@@ -245,18 +246,27 @@ func LoadFile(path string) (*Solution, error) {
 // Scene rebuilds the geometry a loaded solution was computed for.
 func (s *Solution) Scene() (*Scene, error) { return s.inner.Scene() }
 
-// SceneByName constructs one of the built-in scenes: "quickstart",
-// "cornell-box", "harpsichord-room" or "computer-lab".
+// SceneByName constructs one of the built-in scenes — "quickstart",
+// "cornell-box", "harpsichord-room", "computer-lab" — or a procedurally
+// generated scene from a spec string like
+// "gen:office/seed=42/rooms=2/density=0.7" (see GenFamilies). Generated
+// scenes are deterministic: the same spec always builds the identical
+// geometry, and serial, shared and distributed simulations of it produce
+// bit-identical answers just like the built-ins.
 func SceneByName(name string) (*Scene, error) {
-	ctor, ok := scenes.ByName(name)
-	if !ok {
-		return nil, fmt.Errorf("photon: unknown scene %q (have %v)", name, scenes.Names())
+	ctor, err := scenes.ByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("photon: %w", err)
 	}
 	return ctor()
 }
 
 // SceneNames lists the built-in scene names.
 func SceneNames() []string { return scenes.Names() }
+
+// GenFamilies lists the procedural scene-generator family names usable in
+// "gen:<family>/seed=N/param=value/..." specs accepted by SceneByName.
+func GenFamilies() []string { return scenegen.Families() }
 
 // Simulate runs the global illumination simulation and returns the answer.
 // It is a thin shim over SimulateProgress without a callback.
