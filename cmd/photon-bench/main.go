@@ -23,7 +23,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/exec"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -32,6 +34,8 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/geom"
+	"repro/internal/obs"
+	"repro/internal/perfmodel"
 	"repro/internal/scenes"
 )
 
@@ -40,13 +44,15 @@ func main() {
 	log.SetPrefix("photon-bench: ")
 
 	var (
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		run      = flag.String("run", "", "run a single experiment by id")
-		engines  = flag.Bool("engines", false, "sweep engine throughput on this host and exit")
-		jsonPerf = flag.Bool("json", false, "emit the hot-path perf suite as JSON on stdout and exit")
-		photons  = flag.Int64("photons", 50000, "photons per engine-sweep or -json run")
-		scene    = flag.String("scene", "cornell-box", "scene for the engine sweep (-engines); built-in name or gen: spec")
-		sceneSet = flag.String("scenes", "", "comma-separated scene set for -json (default: trajectory scenes + scale sweep)")
+		list        = flag.Bool("list", false, "list experiment ids and exit")
+		run         = flag.String("run", "", "run a single experiment by id")
+		engines     = flag.Bool("engines", false, "sweep engine throughput on this host and exit")
+		jsonPerf    = flag.Bool("json", false, "emit the hot-path perf suite as JSON on stdout and exit")
+		photons     = flag.Int64("photons", 50000, "photons per engine-sweep, -json or -perfmodel run")
+		scene       = flag.String("scene", "cornell-box", "scene for -engines and -perfmodel; built-in name or gen: spec")
+		sceneSet    = flag.String("scenes", "", "comma-separated scene set for -json (default: trajectory scenes + scale sweep)")
+		metricsJSON = flag.String("metrics-json", "", "with -engines: write each run's span/metric report as JSON to this file (- for stdout)")
+		perfValid   = flag.Bool("perfmodel", false, "measure the distributed engine at 1/2/4 ranks and compare with the platform models")
 	)
 	flag.Parse()
 
@@ -69,7 +75,14 @@ func main() {
 	}
 
 	if *engines {
-		if err := engineSweep(*scene, *photons); err != nil {
+		if err := engineSweep(*scene, *photons, *metricsJSON); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *perfValid {
+		if err := perfmodelValidate(*scene, *photons); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -104,7 +117,9 @@ func main() {
 // engineSweep drives every engine through the uniform interface and
 // reports real wall-clock throughput at several worker counts — the
 // companion to BenchmarkSharedContention for quick host characterization.
-func engineSweep(sceneName string, photons int64) error {
+// With metricsPath set, every run is instrumented and the collected
+// span/metric reports are written as one JSON document.
+func engineSweep(sceneName string, photons int64, metricsPath string) error {
 	ctor, err := scenes.ByName(sceneName)
 	if err != nil {
 		return err
@@ -113,6 +128,12 @@ func engineSweep(sceneName string, photons int64) error {
 	if err != nil {
 		return err
 	}
+	type sweepReport struct {
+		Engine  string     `json:"engine"`
+		Workers int        `json:"workers"`
+		Report  obs.Report `json:"report"`
+	}
+	var reports []sweepReport
 	fmt.Printf("engine sweep: %s, %d photons per run\n", sceneName, photons)
 	for _, eng := range engine.All() {
 		workerCounts := []int{1, 2, 4, 8}
@@ -120,8 +141,12 @@ func engineSweep(sceneName string, photons int64) error {
 			workerCounts = []int{1}
 		}
 		for _, w := range workerCounts {
+			cfg := engine.Config{Core: core.DefaultConfig(photons), Workers: w}
+			if metricsPath != "" {
+				cfg.Obs = obs.NewRun()
+			}
 			start := time.Now()
-			res, err := eng.Run(sc, engine.Config{Core: core.DefaultConfig(photons), Workers: w})
+			res, err := eng.Run(sc, cfg)
 			if err != nil {
 				return fmt.Errorf("%s w=%d: %w", eng.Name(), w, err)
 			}
@@ -129,6 +154,87 @@ func engineSweep(sceneName string, photons int64) error {
 			fmt.Printf("  %-12s workers=%d  %8.0f photons/sec  (%v, %d leaves)\n",
 				eng.Name(), w, float64(res.Stats.PhotonsEmitted)/el.Seconds(),
 				el.Round(time.Millisecond), res.Forest.TotalLeaves())
+			if metricsPath != "" {
+				reports = append(reports, sweepReport{Engine: eng.Name(), Workers: w, Report: cfg.Obs.Report()})
+			}
+		}
+	}
+	if metricsPath == "" {
+		return nil
+	}
+	w := os.Stdout
+	if metricsPath != "-" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{"scene": sceneName, "photons": photons, "runs": reports})
+}
+
+// perfmodelValidate measures the distributed engine at 1, 2 and 4 ranks on
+// this host and prints the measured speedup next to each 1997 platform
+// model's prediction — internal/perfmodel consuming real timings instead
+// of only generating virtual ones. The shapes, not the ratios, are the
+// interesting column: the host is none of the modelled machines.
+func perfmodelValidate(sceneName string, photons int64) error {
+	ctor, err := scenes.ByName(sceneName)
+	if err != nil {
+		return err
+	}
+	sc, err := ctor()
+	if err != nil {
+		return err
+	}
+	sceneModel, err := perfmodel.SceneModelByName(sceneName)
+	if err != nil {
+		// Scenes without a workload model still validate against the
+		// closest thing we have: the Cornell Box constants.
+		sceneModel = perfmodel.CornellModel()
+		fmt.Printf("note: %v; using the %s workload model\n", err, sceneModel.Name)
+	}
+
+	fmt.Printf("perfmodel validation: %s, %d photons per run, distributed engine at 1/2/4 ranks\n",
+		sceneName, photons)
+	var runs []perfmodel.Measured
+	for _, ranks := range []int{1, 2, 4} {
+		run := obs.NewRun()
+		start := time.Now()
+		res, err := engine.Distributed.Run(sc, engine.Config{
+			Core: core.DefaultConfig(photons), Workers: ranks, Obs: run,
+		})
+		if err != nil {
+			return fmt.Errorf("ranks=%d: %w", ranks, err)
+		}
+		el := time.Since(start).Seconds()
+		rep := run.Report()
+		runs = append(runs, perfmodel.Measured{
+			Ranks:          ranks,
+			WallSeconds:    el,
+			Photons:        res.Stats.PhotonsEmitted,
+			ImbalanceRatio: rep.Metrics["load_imbalance_tallies"],
+			CommMessages:   res.Dist.Traffic.Messages,
+			CommBytes:      res.Dist.Traffic.Bytes,
+		})
+		fmt.Printf("  measured ranks=%d  %8.0f photons/sec  (%.2fs, imbalance %.2f, %d msgs)\n",
+			ranks, float64(res.Stats.PhotonsEmitted)/el, el,
+			rep.Metrics["load_imbalance_tallies"], res.Dist.Traffic.Messages)
+	}
+
+	for _, platform := range perfmodel.Platforms() {
+		rep, err := perfmodel.Validate(platform, sceneModel, runs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n  vs %s (%s workload):\n", rep.Platform, rep.Scene)
+		fmt.Printf("    %5s  %9s  %9s  %6s\n", "ranks", "measured", "predicted", "ratio")
+		for _, pt := range rep.Points {
+			fmt.Printf("    %5d  %8.2fx  %8.2fx  %6.2f\n",
+				pt.Ranks, pt.MeasuredSpeedup, pt.PredictedSpeedup, pt.Ratio)
 		}
 	}
 	return nil
@@ -144,16 +250,40 @@ type perfMeasurement struct {
 
 // perfReport is the -json output: the intersection-hot-path numbers the
 // perf trajectory tracks across PRs (committed as BENCH_PR<n>.json; diff
-// two files to see the trend). Only measurements and stable host facts are
-// included, so reruns on one host differ only by noise.
+// two files to see the trend). The results carry only measurements and
+// stable host facts, so reruns on one host differ only by noise; the
+// timestamp/revision/hostname header records where each snapshot came
+// from without entering any comparison.
 type perfReport struct {
 	Suite      string            `json:"suite"`
+	Timestamp  string            `json:"timestamp"` // RFC 3339 wall-clock time of the run
+	Revision   string            `json:"revision"`  // git commit the binary was built from ("" if unknown)
+	Hostname   string            `json:"hostname"`
 	Go         string            `json:"go"`
 	GOOS       string            `json:"goos"`
 	GOARCH     string            `json:"goarch"`
 	GOMAXPROCS int               `json:"gomaxprocs"`
 	Photons    int64             `json:"photons_per_run"`
 	Results    []perfMeasurement `json:"results"`
+}
+
+// gitRevision reports the commit the binary was built from: the VCS stamp
+// when `go build` embedded one, otherwise (e.g. `go run` from a work
+// tree) a direct `git rev-parse HEAD`. Best effort — "" when neither
+// source knows.
+func gitRevision() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // perfScenes is the default -json scene set: the shared trajectory scenes
@@ -167,9 +297,14 @@ var perfScenes = append(append([]string{}, benchutil.Scenes...), benchutil.Scale
 // single-thread end-to-end tracing throughput — plus the index shape, so
 // layout changes are visible next to the throughput they buy.
 func perfJSON(photons int64, sceneSet []string) error {
+	hostname, _ := os.Hostname()
 	rep := perfReport{
-		Suite: "intersection-hot-path", Go: runtime.Version(),
-		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		Suite:     "intersection-hot-path",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Revision:  gitRevision(),
+		Hostname:  hostname,
+		Go:        runtime.Version(),
+		GOOS:      runtime.GOOS, GOARCH: runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0), Photons: photons,
 	}
 	add := func(name, scene string, value float64, unit string) {

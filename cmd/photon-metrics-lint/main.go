@@ -1,0 +1,70 @@
+// photon-metrics-lint validates a Prometheus text-format exposition read
+// from stdin: comment grammar, sample syntax, label escaping, histogram
+// bucket invariants. It is the CI gate behind photon-serve's /metrics —
+// `curl :8080/metrics | photon-metrics-lint` fails the build if the
+// scrape surface ever stops parsing.
+//
+// Exit status 0 and a one-line summary on success; the parse error on
+// stderr and exit status 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("photon-metrics-lint: ")
+
+	var (
+		minSamples = flag.Int("min-samples", 1, "fail unless at least this many samples are present")
+		require    = flag.String("require", "", "comma-separated metric families that must have samples")
+	)
+	flag.Parse()
+
+	text, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exp, err := obs.ParseExposition(string(text))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(exp.Samples) < *minSamples {
+		log.Fatalf("%d samples, want at least %d", len(exp.Samples), *minSamples)
+	}
+	if *require != "" {
+		present := make(map[string]bool, len(exp.Samples))
+		for _, s := range exp.Samples {
+			present[s.Name] = true
+		}
+		for _, name := range splitComma(*require) {
+			// A histogram family exposes _bucket/_sum/_count samples, a
+			// counter or gauge its bare name; accept either spelling.
+			if !present[name] && !present[name+"_count"] {
+				log.Fatalf("required metric %q has no samples", name)
+			}
+		}
+	}
+	fmt.Printf("ok: %d samples, %d typed families\n", len(exp.Samples), len(exp.Types))
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -41,6 +41,8 @@ func main() {
 		simWorkers    = flag.Int("sim-workers", 0, "simulation workers (0 = GOMAXPROCS)")
 		renderWorkers = flag.Int("render-workers", 0, "tile-render workers per request (0 = GOMAXPROCS)")
 		maxSamples    = flag.Int("max-samples", 4, "max per-axis supersampling a request may ask for")
+		slowMs        = flag.Int("slow-ms", 0, "log renders slower than this many milliseconds (0 disables)")
+		pprofOn       = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		quiet         = flag.Bool("q", false, "suppress per-request log lines")
 	)
 	flag.Parse()
@@ -52,6 +54,8 @@ func main() {
 		SimWorkers:    *simWorkers,
 		RenderWorkers: *renderWorkers,
 		MaxSamples:    *maxSamples,
+		SlowThreshold: time.Duration(*slowMs) * time.Millisecond,
+		EnablePprof:   *pprofOn,
 	}
 	if !*quiet {
 		cfg.Log = log.New(os.Stderr, "photon-serve: ", 0)

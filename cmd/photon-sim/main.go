@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -24,6 +25,7 @@ import (
 	photon "repro"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -35,13 +37,14 @@ func main() {
 			"scene: "+strings.Join(photon.SceneNames(), ", ")+
 				", or a generator spec gen:<family>/seed=N/... (families: "+
 				strings.Join(photon.GenFamilies(), ", ")+")")
-		photons    = flag.Int64("photons", 200000, "photons to emit")
-		engineName = flag.String("engine", "serial", "engine: serial, shared, distributed, geo")
-		workers    = flag.Int("workers", 4, "workers (shared) or ranks (distributed, geo)")
-		batch      = flag.Int("batch", 0, "photons per exchange round (distributed, geo; 0 = engine default)")
-		seed       = flag.Int64("seed", 1, "random seed")
-		quiet      = flag.Bool("q", false, "suppress the progress line")
-		out        = flag.String("o", "answer.pbf", "output answer file")
+		photons     = flag.Int64("photons", 200000, "photons to emit")
+		engineName  = flag.String("engine", "serial", "engine: serial, shared, distributed, geo")
+		workers     = flag.Int("workers", 4, "workers (shared) or ranks (distributed, geo)")
+		batch       = flag.Int("batch", 0, "photons per exchange round (distributed, geo; 0 = engine default)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		quiet       = flag.Bool("q", false, "suppress the progress line")
+		out         = flag.String("o", "answer.pbf", "output answer file")
+		metricsJSON = flag.String("metrics-json", "", "write the run's span/metric report as JSON to this file (- for stdout)")
 	)
 	flag.Parse()
 
@@ -67,6 +70,9 @@ func main() {
 		Core:      coreCfg,
 		Workers:   *workers,
 		BatchSize: *batch,
+	}
+	if *metricsJSON != "" {
+		cfg.Obs = obs.NewRun()
 	}
 	if !*quiet {
 		cfg.Progress = func(done, total int64) {
@@ -108,4 +114,26 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("answer written to %s (%.2f MB)\n", *out, float64(fi.Size())/1e6)
+
+	if *metricsJSON != "" {
+		if err := writeMetricsJSON(*metricsJSON, cfg.Obs.Report()); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeMetricsJSON dumps the run report to path, or stdout for "-".
+func writeMetricsJSON(path string, rep obs.Report) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }

@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/loadbalance"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // Balance selects the forest-ownership strategy of the load-balancing
@@ -97,6 +98,13 @@ type Config struct {
 	// Progress, when non-nil, receives the photons globally finished so
 	// far and the total. Rank 0 reports it once per exchange round.
 	Progress func(done, total int64)
+	// Obs, when non-nil, records the engines' interior phases. Rank 0 —
+	// representative under the bulk-synchronous schedule — records one
+	// span per round phase ("simulate/round/trace", "simulate/round/
+	// exchange", "simulate/round/apply"); every rank records its own wall
+	// time in the "rank_wall_ms" series, and GeoRun additionally sums the
+	// per-round forwarded-flight counts into "geo_round_forwards".
+	Obs *obs.Run
 }
 
 // DefaultConfig returns the replicated-geometry engine defaults: the

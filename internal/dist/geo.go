@@ -17,10 +17,13 @@ package dist
 // with the replicated engine's at any rank count.
 
 import (
+	"time"
+
 	"repro/internal/bintree"
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/scenes"
 	"repro/internal/vecmath"
@@ -76,6 +79,7 @@ func GeoRun(scene *scenes.Scene, cfg Config) (*Result, error) {
 			patchOwner: patchOwner,
 			forest:     bintree.NewForest(nPatches, coreCfg.Bin),
 			progress:   cfg.Progress,
+			obs:        cfg.Obs,
 			rs:         RankStats{Rank: me},
 		}
 		final, err := g.run(share[me], starts[me])
@@ -137,6 +141,7 @@ type geoRank struct {
 	patchOwner []int
 	forest     *bintree.Forest
 	progress   func(done, total int64)
+	obs        *obs.Run
 
 	st       core.Stats
 	rs       RankStats
@@ -215,7 +220,21 @@ func (g *geoRank) run(myShare, startIdx int64) (*bintree.Forest, error) {
 	remaining := myShare
 	idx := startIdx
 	var pending []geoFlight
+
+	// Rank 0's round spans stand for the bulk-synchronous schedule (see
+	// Config.Obs); every rank contributes its own forward counts and wall
+	// time.
+	var spanObs *obs.Run
+	if g.me() == 0 {
+		spanObs = g.obs
+	}
+	var rankStart time.Time
+	if g.obs.Enabled() {
+		rankStart = time.Now()
+	}
+	round := 0
 	for {
+		traceSpan := spanObs.StartSpan("simulate/round/trace")
 		photonsOut := make([][]geoFlight, c.Size())
 		tallyOut := make([][]core.Tally, c.Size())
 		for _, f := range pending {
@@ -229,15 +248,31 @@ func (g *geoRank) run(myShare, startIdx int64) (*bintree.Forest, error) {
 			idx++
 		}
 		remaining -= n
+		traceSpan.End()
 
+		if g.obs.Enabled() {
+			var fwd int64
+			for _, fl := range photonsOut {
+				fwd += int64(len(fl))
+			}
+			// Same round index on every rank (the rounds are aligned by the
+			// collectives), so the series entry is the global per-round
+			// forwarded-flight count.
+			g.obs.AddIndexed("geo_round_forwards", round, float64(fwd))
+		}
+
+		exchangeSpan := spanObs.StartSpan("simulate/round/exchange")
 		pin, err := mpi.AllToAll(c, tagFlight, photonsOut)
 		if err != nil {
+			exchangeSpan.End()
 			return nil, err
 		}
 		tin, err := mpi.AllToAll(c, tagGeoTal, tallyOut)
+		exchangeSpan.End()
 		if err != nil {
 			return nil, err
 		}
+		applySpan := spanObs.StartSpan("simulate/round/apply")
 		for src := 0; src < c.Size(); src++ {
 			if src == g.me() {
 				continue
@@ -247,7 +282,9 @@ func (g *geoRank) run(myShare, startIdx int64) (*bintree.Forest, error) {
 			}
 			pending = append(pending, pin[src]...)
 		}
+		applySpan.End()
 		g.rs.Batches++
+		round++
 
 		total, err := mpi.AllReduceSum(c, tagWork, float64(remaining)+float64(len(pending)))
 		if err != nil {
@@ -268,5 +305,11 @@ func (g *geoRank) run(myShare, startIdx int64) (*bintree.Forest, error) {
 		}
 	}
 	g.st.BinSplits = g.splits
-	return gatherForest(c, g.forest, g.patchOwner, len(g.scene.Geom.Patches), 1, g.sim.Config().Bin)
+	if g.obs.Enabled() {
+		g.obs.SetIndexed("rank_wall_ms", g.me(), float64(time.Since(rankStart))/float64(time.Millisecond))
+	}
+	gatherSpan := spanObs.StartSpan("simulate/gather")
+	final, err := gatherForest(c, g.forest, g.patchOwner, len(g.scene.Geom.Patches), 1, g.sim.Config().Bin)
+	gatherSpan.End()
+	return final, err
 }

@@ -18,10 +18,13 @@ package dist
 // online with memory bounded by one round's tallies.
 
 import (
+	"time"
+
 	"repro/internal/bintree"
 	"repro/internal/core"
 	"repro/internal/loadbalance"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/scenes"
 )
 
@@ -134,6 +137,20 @@ func runRank(c *mpi.Comm, sim *core.Simulator, cfg Config, owners []int,
 	var st core.Stats
 	var splits int64
 
+	// Round-phase spans are recorded by rank 0 only: the rounds are
+	// bulk-synchronous, so rank 0's trace/exchange/apply timings are
+	// representative of the schedule's wall time, while summing spans
+	// across concurrent ranks would not be. Every rank still records its
+	// own wall time below.
+	var spanObs *obs.Run
+	if me == 0 {
+		spanObs = cfg.Obs
+	}
+	var rankStart time.Time
+	if cfg.Obs.Enabled() {
+		rankStart = time.Now()
+	}
+
 	apply := func(t core.Tally) {
 		if forest.Add(int(t.Patch), t.Point, t.Power) {
 			splits++
@@ -148,6 +165,7 @@ func runRank(c *mpi.Comm, sim *core.Simulator, cfg Config, owners []int,
 		hi := min(photons, lo+batch)
 		// Foreign tallies per destination; owned tallies buffered so they
 		// can be applied at this rank's slot in the round's rank order.
+		traceSpan := spanObs.StartSpan("simulate/round/trace")
 		outbox := make([][]core.Tally, size)
 		var mine []core.Tally
 		for i := lo; i < hi; i++ {
@@ -161,6 +179,7 @@ func runRank(c *mpi.Comm, sim *core.Simulator, cfg Config, owners []int,
 				}
 			})
 		}
+		traceSpan.End()
 		if hi > lo {
 			rs.PhotonsTraced += hi - lo
 		}
@@ -170,10 +189,13 @@ func runRank(c *mpi.Comm, sim *core.Simulator, cfg Config, owners []int,
 		// chunks, so every section tree sees its tallies in global
 		// photon-index order, exactly as the serial engine would apply
 		// them.
+		exchangeSpan := spanObs.StartSpan("simulate/round/exchange")
 		in, err := mpi.AllToAll(c, tagTally, outbox)
+		exchangeSpan.End()
 		if err != nil {
 			return nil, rs, st, err
 		}
+		applySpan := spanObs.StartSpan("simulate/round/apply")
 		for src := 0; src < size; src++ {
 			if src == me {
 				for _, t := range mine {
@@ -185,6 +207,7 @@ func runRank(c *mpi.Comm, sim *core.Simulator, cfg Config, owners []int,
 				apply(t)
 			}
 		}
+		applySpan.End()
 		rs.Batches++
 
 		if me == 0 && cfg.Progress != nil {
@@ -192,7 +215,12 @@ func runRank(c *mpi.Comm, sim *core.Simulator, cfg Config, owners []int,
 		}
 	}
 	st.BinSplits = splits
+	if cfg.Obs.Enabled() {
+		cfg.Obs.SetIndexed("rank_wall_ms", me, float64(time.Since(rankStart))/float64(time.Millisecond))
+	}
 
+	gatherSpan := spanObs.StartSpan("simulate/gather")
 	final, err := gatherForest(c, forest, owners, len(nPatches), cfg.Sections, binCfg)
+	gatherSpan.End()
 	return final, rs, st, err
 }

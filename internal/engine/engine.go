@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/scenes"
 )
 
@@ -46,6 +47,14 @@ type Config struct {
 	Balance dist.Balance
 	// Progress, when non-nil, streams completion callbacks.
 	Progress ProgressFunc
+	// Obs, when non-nil, collects the run's observability: hierarchical
+	// phase spans (simulate/round/trace…), throughput metrics, per-rank
+	// photon and tally counts, the load-imbalance ratio, and per-rank
+	// communication volume. nil (the default) disables instrumentation at
+	// the cost of one branch per phase boundary — zero allocations, no
+	// clock reads. Instrumentation observes, never reorders: the
+	// bit-identity conformance contract holds with Obs attached.
+	Obs *obs.Run
 }
 
 func (c Config) workers() int {

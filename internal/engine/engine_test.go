@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/scenes"
 )
 
@@ -95,9 +96,94 @@ func TestProgressReportingAllEngines(t *testing.T) {
 		if final := calls[len(calls)-1]; final != 5000 {
 			t.Fatalf("%s: final progress %d, want 5000", e.Name(), final)
 		}
+		// The documented contract is strict monotonicity: every callback
+		// reports more photons finished than the one before — no
+		// regressions and no duplicate reports.
 		for i := 1; i < len(calls); i++ {
-			if calls[i] < calls[i-1] {
-				t.Fatalf("%s: progress regressed: %v", e.Name(), calls)
+			if calls[i] <= calls[i-1] {
+				t.Fatalf("%s: progress not strictly monotone at call %d: %v", e.Name(), i, calls)
+			}
+		}
+		for i, done := range calls {
+			if done < 1 || done > 5000 {
+				t.Fatalf("%s: progress call %d out of range: %d", e.Name(), i, done)
+			}
+		}
+	}
+}
+
+// TestInstrumentationPreservesConformance pins the observability
+// contract: attaching an obs.Run observes the run but never reorders it.
+// Every engine must produce a bit-identical forest (Fingerprint) and
+// identical trajectory statistics with and without instrumentation — and
+// the instrumented run must actually have collected the promised spans
+// and per-rank series.
+func TestInstrumentationPreservesConformance(t *testing.T) {
+	s := quickScene(t)
+	for _, e := range All() {
+		base := Config{Core: core.DefaultConfig(4000), Workers: 3, ChunkSize: 256, BatchSize: 500}
+
+		plain, err := e.Run(s, base)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		instrumented := base
+		instrumented.Obs = obs.NewRun()
+		wired, err := e.Run(s, instrumented)
+		if err != nil {
+			t.Fatalf("%s instrumented: %v", e.Name(), err)
+		}
+
+		if a, b := plain.Forest.Fingerprint(), wired.Forest.Fingerprint(); a != b {
+			t.Errorf("%s: instrumentation changed the forest: %x vs %x", e.Name(), a, b)
+		}
+		if plain.Stats != wired.Stats {
+			t.Errorf("%s: instrumentation changed the stats:\n  plain: %+v\n  wired: %+v",
+				e.Name(), plain.Stats, wired.Stats)
+		}
+
+		rep := instrumented.Obs.Report()
+		if rep.Metrics["photons"] != 4000 {
+			t.Errorf("%s: photons metric = %v, want 4000", e.Name(), rep.Metrics["photons"])
+		}
+		if rep.Metrics["photons_per_sec"] <= 0 {
+			t.Errorf("%s: photons_per_sec = %v", e.Name(), rep.Metrics["photons_per_sec"])
+		}
+		paths := make(map[string]bool, len(rep.Spans))
+		for _, sp := range rep.Spans {
+			paths[sp.Path] = true
+		}
+		if !paths["simulate"] {
+			t.Errorf("%s: no simulate span: %+v", e.Name(), rep.Spans)
+		}
+		switch e.Name() {
+		case "shared":
+			if !paths["simulate/chunk"] || !paths["simulate/merge"] {
+				t.Errorf("shared: missing chunk/merge spans: %+v", rep.Spans)
+			}
+			if len(rep.Series["worker_photons"]) == 0 {
+				t.Errorf("shared: no worker_photons series")
+			}
+		case "distributed", "geo":
+			for _, p := range []string{"simulate/round/trace", "simulate/round/exchange", "simulate/round/apply", "simulate/gather"} {
+				if !paths[p] {
+					t.Errorf("%s: missing span %s: %+v", e.Name(), p, rep.Spans)
+				}
+			}
+			if got := len(rep.Series["rank_photons"]); got != 3 {
+				t.Errorf("%s: rank_photons has %d entries, want 3", e.Name(), got)
+			}
+			if got := len(rep.Series["rank_wall_ms"]); got != 3 {
+				t.Errorf("%s: rank_wall_ms has %d entries, want 3", e.Name(), got)
+			}
+			if got := len(rep.Series["rank_bytes_sent"]); got != 3 {
+				t.Errorf("%s: rank_bytes_sent has %d entries, want 3", e.Name(), got)
+			}
+			if im := rep.Metrics["load_imbalance_tallies"]; im < 1 {
+				t.Errorf("%s: load_imbalance_tallies = %v, want >= 1", e.Name(), im)
+			}
+			if e.Name() == "geo" && len(rep.Series["geo_round_forwards"]) == 0 {
+				t.Errorf("geo: no geo_round_forwards series")
 			}
 		}
 	}

@@ -84,6 +84,37 @@ type Traffic struct {
 	Bytes    int64
 	// PerPair[i][j] counts messages from rank i to rank j.
 	PerPair [][]int64
+	// PerPairBytes[i][j] counts payload bytes from rank i to rank j — the
+	// paper's communication-volume axis at pair granularity.
+	PerPairBytes [][]int64
+}
+
+// SentByRank returns each rank's outgoing message and byte totals (row
+// sums of the pair matrices).
+func (t Traffic) SentByRank() (msgs, bytes []int64) {
+	msgs = make([]int64, len(t.PerPair))
+	bytes = make([]int64, len(t.PerPair))
+	for i := range t.PerPair {
+		for j := range t.PerPair[i] {
+			msgs[i] += t.PerPair[i][j]
+			bytes[i] += t.PerPairBytes[i][j]
+		}
+	}
+	return msgs, bytes
+}
+
+// RecvByRank returns each rank's incoming message and byte totals (column
+// sums of the pair matrices).
+func (t Traffic) RecvByRank() (msgs, bytes []int64) {
+	msgs = make([]int64, len(t.PerPair))
+	bytes = make([]int64, len(t.PerPair))
+	for i := range t.PerPair {
+		for j := range t.PerPair[i] {
+			msgs[j] += t.PerPair[i][j]
+			bytes[j] += t.PerPairBytes[i][j]
+		}
+	}
+	return msgs, bytes
 }
 
 // World is a communicator group of size ranks.
@@ -96,10 +127,11 @@ type World struct {
 	barrierCnt  int
 	barrierGen  int
 
-	statsMu  sync.Mutex
-	messages int64
-	bytes    int64
-	perPair  [][]int64
+	statsMu      sync.Mutex
+	messages     int64
+	bytes        int64
+	perPair      [][]int64
+	perPairBytes [][]int64
 }
 
 // NewWorld creates a communicator world with the given number of ranks.
@@ -113,8 +145,10 @@ func NewWorld(size int) (*World, error) {
 	}
 	w.barrierCond = sync.NewCond(&w.barrierMu)
 	w.perPair = make([][]int64, size)
+	w.perPairBytes = make([][]int64, size)
 	for i := range w.perPair {
 		w.perPair[i] = make([]int64, size)
+		w.perPairBytes[i] = make([]int64, size)
 	}
 	return w, nil
 }
@@ -135,10 +169,12 @@ func (w *World) TrafficStats() Traffic {
 	w.statsMu.Lock()
 	defer w.statsMu.Unlock()
 	pp := make([][]int64, w.size)
+	ppb := make([][]int64, w.size)
 	for i := range pp {
 		pp[i] = append([]int64(nil), w.perPair[i]...)
+		ppb[i] = append([]int64(nil), w.perPairBytes[i]...)
 	}
-	return Traffic{Messages: w.messages, Bytes: w.bytes, PerPair: pp}
+	return Traffic{Messages: w.messages, Bytes: w.bytes, PerPair: pp, PerPairBytes: ppb}
 }
 
 // Close shuts every mailbox down, releasing blocked receivers with ok=false.
@@ -180,6 +216,7 @@ func (c *Comm) Send(to, tag int, payload any) {
 	c.world.messages++
 	c.world.bytes += int64(b)
 	c.world.perPair[c.rank][to]++
+	c.world.perPairBytes[c.rank][to] += int64(b)
 	c.world.statsMu.Unlock()
 }
 

@@ -257,6 +257,54 @@ func TestTrafficStats(t *testing.T) {
 	if tr.PerPair[1][0] != 1 || tr.PerPair[2][0] != 1 {
 		t.Errorf("per-pair = %v", tr.PerPair)
 	}
+	if tr.PerPairBytes[1][0] <= 0 || tr.PerPairBytes[2][0] <= 0 {
+		t.Errorf("per-pair bytes = %v", tr.PerPairBytes)
+	}
+}
+
+// TestTrafficByRank pins the per-rank sent/received derivations: row and
+// column sums of the pair matrices, which the observability layer reports
+// as the paper's per-rank communication volume.
+func TestTrafficByRank(t *testing.T) {
+	w, err := Run(3, func(c *Comm) error {
+		// Rank 0 sends one message to each of ranks 1 and 2.
+		if c.Rank() == 0 {
+			c.Send(1, 7, []int64{1, 2})
+			c.Send(2, 7, []int64{1, 2, 3})
+			return nil
+		}
+		c.Recv(0, 7)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := w.TrafficStats()
+	sentMsgs, sentBytes := tr.SentByRank()
+	recvMsgs, recvBytes := tr.RecvByRank()
+	if sentMsgs[0] != 2 || sentMsgs[1] != 0 || sentMsgs[2] != 0 {
+		t.Errorf("sent msgs by rank = %v, want [2 0 0]", sentMsgs)
+	}
+	if recvMsgs[0] != 0 || recvMsgs[1] != 1 || recvMsgs[2] != 1 {
+		t.Errorf("recv msgs by rank = %v, want [0 1 1]", recvMsgs)
+	}
+	if sentBytes[0] != tr.Bytes {
+		t.Errorf("rank 0 sent %d bytes, world total %d", sentBytes[0], tr.Bytes)
+	}
+	if recvBytes[1]+recvBytes[2] != tr.Bytes {
+		t.Errorf("recv bytes %v do not sum to world total %d", recvBytes, tr.Bytes)
+	}
+	// Conservation: everything sent is received.
+	if sb, rb := sum(sentBytes), sum(recvBytes); sb != rb {
+		t.Errorf("sent %d bytes, received %d", sb, rb)
+	}
+}
+
+func sum(xs []int64) (s int64) {
+	for _, x := range xs {
+		s += x
+	}
+	return s
 }
 
 func TestSizedSliceBytes(t *testing.T) {

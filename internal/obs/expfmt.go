@@ -1,0 +1,270 @@
+package obs
+
+// Prometheus text-exposition parsing — the validating half of the /metrics
+// surface. The serving side writes the format (Registry.WritePrometheus);
+// this side checks that a scrape is well-formed, which is what the CI
+// metrics job runs against a live photon-serve and what the round-trip
+// tests pin. It is a validator for the text format version 0.0.4 sample
+// grammar, not a full client: it checks line structure, name and label
+// grammar, value syntax, TYPE consistency, and histogram bucket shape.
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	// Name is the sample's metric name (including _bucket/_sum/_count
+	// suffixes for histogram series).
+	Name string
+	// Labels holds the sample's label pairs in source order.
+	Labels []Label
+	// Value is the sample value (+Inf/-Inf/NaN allowed).
+	Value float64
+}
+
+// Exposition is a parsed scrape.
+type Exposition struct {
+	// Types maps family name to declared TYPE.
+	Types map[string]string
+	// Samples are every sample line in source order.
+	Samples []Sample
+}
+
+// Label returns the value of the named label and whether it was present.
+func (s Sample) Label(key string) (string, bool) {
+	for _, l := range s.Labels {
+		if l.Key == key {
+			return l.Value, true
+		}
+	}
+	return "", false
+}
+
+// ParseExposition validates text as Prometheus exposition format and
+// returns the parsed samples. Any malformed line fails with its line
+// number; histogram families are additionally checked for _bucket le
+// labels and the mandatory +Inf bucket.
+func ParseExposition(text string) (*Exposition, error) {
+	exp := &Exposition{Types: make(map[string]string)}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	// histogram family -> saw a le="+Inf" bucket
+	sawInf := make(map[string]bool)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Text()
+		trimmed := strings.TrimSpace(raw)
+		if trimmed == "" {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "#") {
+			if err := parseComment(trimmed, exp); err != nil {
+				return nil, fmt.Errorf("line %d: %v", line, err)
+			}
+			continue
+		}
+		s, err := parseSample(trimmed)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", line, err)
+		}
+		if fam, ok := histogramFamily(s.Name, exp.Types); ok {
+			if strings.HasSuffix(s.Name, "_bucket") {
+				le, found := s.Label("le")
+				if !found {
+					return nil, fmt.Errorf("line %d: histogram bucket %s without le label", line, s.Name)
+				}
+				if le == "+Inf" {
+					sawInf[fam] = true
+				} else if _, err := strconv.ParseFloat(le, 64); err != nil {
+					return nil, fmt.Errorf("line %d: bucket le=%q is not a float", line, le)
+				}
+			}
+		}
+		exp.Samples = append(exp.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for fam, typ := range exp.Types {
+		if typ == "histogram" && !sawInf[fam] && familyHasSamples(exp, fam) {
+			return nil, fmt.Errorf("histogram %s has no le=\"+Inf\" bucket", fam)
+		}
+	}
+	return exp, nil
+}
+
+// histogramFamily maps a _bucket/_sum/_count sample name back to its
+// declared histogram family, if any.
+func histogramFamily(name string, types map[string]string) (string, bool) {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if fam, ok := strings.CutSuffix(name, suffix); ok && types[fam] == "histogram" {
+			return fam, true
+		}
+	}
+	return "", false
+}
+
+func familyHasSamples(exp *Exposition, fam string) bool {
+	for _, s := range exp.Samples {
+		if s.Name == fam+"_count" {
+			return true
+		}
+	}
+	return false
+}
+
+func parseComment(line string, exp *Exposition) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil // bare comment, legal
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		if !validName(name) {
+			return fmt.Errorf("TYPE for invalid metric name %q", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", typ)
+		}
+		if prev, ok := exp.Types[name]; ok && prev != typ {
+			return fmt.Errorf("metric %q re-declared as %s (was %s)", name, typ, prev)
+		}
+		exp.Types[name] = typ
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP comment %q", line)
+		}
+		if !validName(fields[2]) {
+			return fmt.Errorf("HELP for invalid metric name %q", fields[2])
+		}
+	}
+	return nil
+}
+
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	// Metric name.
+	i := 0
+	for i < len(rest) && rest[i] != '{' && rest[i] != ' ' && rest[i] != '\t' {
+		i++
+	}
+	s.Name = rest[:i]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[i:]
+	// Optional label set.
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end+1:]
+	}
+	// Value (and optional timestamp).
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("want value [timestamp] after %q, got %q", s.Name, rest)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("timestamp %q is not an integer", fields[1])
+		}
+	}
+	return s, nil
+}
+
+func parseValue(v string) (float64, error) {
+	switch v {
+	case "+Inf", "Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("value %q is not a float", v)
+	}
+	return f, nil
+}
+
+func parseLabels(body string) ([]Label, error) {
+	var labels []Label
+	rest := body
+	for rest != "" {
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("label %q missing =", rest)
+		}
+		key := strings.TrimSpace(rest[:eq])
+		// le is legal here (bucket label); validLabelName reserves it for
+		// writers, so check the grammar directly.
+		if !validLabelName(key) && key != "le" {
+			return nil, fmt.Errorf("invalid label name %q", key)
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return nil, fmt.Errorf("label %s value not quoted", key)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return nil, fmt.Errorf("label %s value ends mid-escape", key)
+				}
+				i++
+				switch rest[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("label %s has invalid escape \\%c", key, rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				rest = rest[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("label %s value unterminated", key)
+		}
+		labels = append(labels, Label{Key: key, Value: val.String()})
+		rest = strings.TrimPrefix(strings.TrimSpace(rest), ",")
+		rest = strings.TrimSpace(rest)
+	}
+	return labels, nil
+}

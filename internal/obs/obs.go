@@ -1,0 +1,342 @@
+// Package obs is the repository's one instrumentation spine. It has two
+// halves, matched to the two kinds of observation the system needs:
+//
+//   - Registry (this file): a process-lifetime counter/gauge/histogram
+//     registry with a Prometheus text-format surface, used by the serving
+//     layer — request latencies, cache hit/miss/eviction counts — where
+//     metrics accumulate across many requests and are scraped over HTTP.
+//
+//   - Run (run.go): a per-run span and metric collector threaded through
+//     the engines and the tile renderer — hierarchical phase spans
+//     (simulate→round→trace, render→tile), per-rank counters, load-
+//     imbalance ratios — where observability is a property of one
+//     simulation or render and is dumped as JSON next to BENCH_*.json.
+//
+// The contract that makes threading obs through every hot path safe:
+// instrumentation observes, never reorders. No obs call influences photon
+// order, tally application order, or tile schedule, so the bit-identity
+// conformance matrices pass unchanged with instrumentation enabled. And a
+// nil *Run is the disabled state: every method on it is a nil-check and a
+// return — zero allocations, no time.Now call, no atomic — so the engines
+// pay one predictable branch per phase boundary when nobody is watching.
+// Span granularity is bounded below at the chunk/round/tile level (hundreds
+// of photons or pixels per span), never per photon, which keeps the enabled
+// overhead under the 2% budget.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension, rendered as key="value" in the exposition.
+type Label struct{ Key, Value string }
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// DefBuckets are the default latency histogram bounds in seconds — the
+// conventional Prometheus ladder, wide enough to straddle both a cache-hit
+// render (~ms) and a cold 10⁵-patch simulation (~s).
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Counter is a monotone int64 counter. Safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (n must be non-negative; counters are
+// monotone by contract).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 value that can go up and down. Safe for concurrent use.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution with Prometheus cumulative-le
+// semantics at exposition time. Safe for concurrent use; Observe is three
+// atomic operations and allocates nothing.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds; +Inf is implicit
+	counts []atomic.Int64 // len(bounds)+1, last is the overflow bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// family is every instance of one metric name (one per label set).
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	buckets []float64
+	items   map[string]any // rendered label string -> *Counter/*Gauge/*Histogram
+}
+
+// Registry is a concurrent-safe metric registry. Metrics are get-or-create:
+// asking twice for the same (name, labels) returns the same instance, so
+// handles can be resolved once at construction and used lock-free on the
+// hot path. Registering one name as two different kinds is a programming
+// error and panics at registration time, never at scrape time.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// validName enforces the Prometheus metric-name grammar.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName enforces the Prometheus label-name grammar (no colons).
+func validLabelName(name string) bool {
+	if name == "" || name == "le" { // le is reserved for histogram buckets
+		return false
+	}
+	for i, r := range name {
+		ok := r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels returns the canonical `k1="v1",k2="v2"` form, keys sorted.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if !validLabelName(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label name %q", l.Key))
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// get resolves (name, labels) in family fam of kind k, creating as needed.
+func (r *Registry) get(name, help string, k kind, buckets []float64, labels []Label) any {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	lkey := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k, buckets: buckets, items: make(map[string]any)}
+		r.families[name] = f
+	} else if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, k))
+	}
+	m, ok := f.items[lkey]
+	if !ok {
+		switch k {
+		case kindCounter:
+			m = &Counter{}
+		case kindGauge:
+			m = &Gauge{}
+		case kindHistogram:
+			h := &Histogram{bounds: f.buckets}
+			h.counts = make([]atomic.Int64, len(f.buckets)+1)
+			m = h
+		}
+		f.items[lkey] = m
+	}
+	return m
+}
+
+// Counter returns the counter (name, labels), registering it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.get(name, help, kindCounter, nil, labels).(*Counter)
+}
+
+// Gauge returns the gauge (name, labels), registering it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.get(name, help, kindGauge, nil, labels).(*Gauge)
+}
+
+// Histogram returns the histogram (name, labels) with the given bucket
+// upper bounds (nil = DefBuckets), registering it on first use. The bucket
+// layout is fixed by the first registration of the name.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not strictly ascending", name))
+		}
+	}
+	return r.get(name, help, kindHistogram, buckets, labels).(*Histogram)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4): HELP and TYPE comments per family,
+// then one sample line per instance, families and label sets in sorted
+// order so scrapes are diffable. The registry lock is held for the render —
+// registration is rare after startup and the render reads only atomics, so
+// a scrape never sees a family mid-registration.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, n := range names {
+		f := r.families[n]
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		lkeys := make([]string, 0, len(f.items))
+		for k := range f.items {
+			lkeys = append(lkeys, k)
+		}
+		sort.Strings(lkeys)
+		for _, lkey := range lkeys {
+			f.writeSample(&b, lkey)
+		}
+	}
+	r.mu.Unlock()
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeSample writes one instance's sample line(s).
+func (f *family) writeSample(b *strings.Builder, lkey string) {
+	suffixed := func(suffix, extraLabel string) string {
+		labels := lkey
+		if extraLabel != "" {
+			if labels != "" {
+				labels += ","
+			}
+			labels += extraLabel
+		}
+		if labels == "" {
+			return f.name + suffix
+		}
+		return f.name + suffix + "{" + labels + "}"
+	}
+	switch m := f.items[lkey].(type) {
+	case *Counter:
+		fmt.Fprintf(b, "%s %d\n", suffixed("", ""), m.Value())
+	case *Gauge:
+		fmt.Fprintf(b, "%s %s\n", suffixed("", ""), formatFloat(m.Value()))
+	case *Histogram:
+		var cum int64
+		for i, bound := range m.bounds {
+			cum += m.counts[i].Load()
+			fmt.Fprintf(b, "%s %d\n",
+				suffixed("_bucket", `le="`+formatFloat(bound)+`"`), cum)
+		}
+		cum += m.counts[len(m.bounds)].Load()
+		fmt.Fprintf(b, "%s %d\n", suffixed("_bucket", `le="+Inf"`), cum)
+		fmt.Fprintf(b, "%s %s\n", suffixed("_sum", ""), formatFloat(m.Sum()))
+		fmt.Fprintf(b, "%s %d\n", suffixed("_count", ""), m.Count())
+	}
+}

@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("photon_test_total", "help")
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+	if r.Counter("photon_test_total", "help") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("photon_test_gauge", "help")
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", g.Value())
+	}
+
+	h := r.Histogram("photon_test_seconds", "help", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("histogram count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-56.05) > 1e-9 {
+		t.Fatalf("histogram sum = %v, want 56.05", h.Sum())
+	}
+}
+
+func TestLabelledMetricsAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("photon_ranked_total", "", L("rank", "0"))
+	b := r.Counter("photon_ranked_total", "", L("rank", "1"))
+	if a == b {
+		t.Fatal("different label sets returned the same counter")
+	}
+	// Label order must not matter.
+	x := r.Counter("photon_multi_total", "", L("a", "1"), L("b", "2"))
+	y := r.Counter("photon_multi_total", "", L("b", "2"), L("a", "1"))
+	if x != y {
+		t.Fatal("permuted label order returned a different counter")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("photon_kind_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name as two kinds did not panic")
+		}
+	}()
+	r.Gauge("photon_kind_total", "")
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"", "1abc", "has space", "dash-ed"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("invalid name %q accepted", name)
+				}
+			}()
+			r.Counter(name, "")
+		}()
+	}
+}
+
+// TestExpositionRoundTrip: whatever WritePrometheus emits, ParseExposition
+// must accept — the contract the CI metrics job checks against a live
+// server.
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("photon_requests_total", "requests served").Add(7)
+	r.Counter("photon_errors_total", "errors by class", L("class", "4xx")).Add(2)
+	r.Counter("photon_errors_total", "errors by class", L("class", "5xx")).Add(1)
+	r.Gauge("photon_cache_resident", "resident solutions").Set(3)
+	h := r.Histogram("photon_request_seconds", "request latency", nil)
+	h.Observe(0.003)
+	h.Observe(0.3)
+	h.Observe(30)
+	// A label value with every escape-worthy character.
+	r.Counter("photon_escaped_total", "", L("path", "a\\b\"c\nd")).Inc()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	exp, err := ParseExposition(text)
+	if err != nil {
+		t.Fatalf("own exposition does not parse: %v\n%s", err, text)
+	}
+	if exp.Types["photon_request_seconds"] != "histogram" {
+		t.Fatalf("TYPE lost: %v", exp.Types)
+	}
+	var reqs, infBucket, count float64
+	var escaped string
+	for _, s := range exp.Samples {
+		switch s.Name {
+		case "photon_requests_total":
+			reqs = s.Value
+		case "photon_request_seconds_bucket":
+			if le, _ := s.Label("le"); le == "+Inf" {
+				infBucket = s.Value
+			}
+		case "photon_request_seconds_count":
+			count = s.Value
+		case "photon_escaped_total":
+			escaped, _ = s.Label("path")
+		}
+	}
+	if reqs != 7 {
+		t.Fatalf("photon_requests_total = %v, want 7", reqs)
+	}
+	if infBucket != 3 || count != 3 {
+		t.Fatalf("+Inf bucket %v / count %v, want 3 / 3", infBucket, count)
+	}
+	if escaped != "a\\b\"c\nd" {
+		t.Fatalf("escaped label round-tripped to %q", escaped)
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"photon_x_total",                    // no value
+		"photon_x_total one",                // non-numeric value
+		"1bad_name 3",                       // invalid name
+		`photon_x_total{le"0.1"} 1`,         // label missing =
+		`photon_x_total{a="unterminated} 1`, // unterminated value
+		"# TYPE photon_x_total notakind",    // bad TYPE
+		"# TYPE photon_x_total",             // truncated TYPE
+		"photon_x_total 3 notatimestamp",    // bad timestamp
+		"# TYPE photon_h histogram\nphoton_h_bucket{rank=\"0\"} 1\nphoton_h_count 1", // bucket without le
+	}
+	for _, text := range bad {
+		if _, err := ParseExposition(text); err == nil {
+			t.Errorf("malformed exposition accepted:\n%s", text)
+		}
+	}
+	// Histogram without an +Inf bucket must be rejected.
+	noInf := "# TYPE photon_h histogram\nphoton_h_bucket{le=\"1\"} 1\nphoton_h_sum 0.5\nphoton_h_count 1\n"
+	if _, err := ParseExposition(noInf); err == nil {
+		t.Error("histogram missing +Inf bucket accepted")
+	}
+}
+
+func TestRunSpansAggregate(t *testing.T) {
+	r := NewRun()
+	for i := 0; i < 3; i++ {
+		sp := r.StartSpan("simulate/round/trace")
+		time.Sleep(time.Millisecond)
+		sp.End()
+	}
+	sp := r.StartSpan("simulate")
+	sp.End()
+	rep := r.Report()
+	if len(rep.Spans) != 2 {
+		t.Fatalf("got %d span paths, want 2: %+v", len(rep.Spans), rep.Spans)
+	}
+	// Sorted by path: "simulate" < "simulate/round/trace".
+	if rep.Spans[0].Path != "simulate" || rep.Spans[1].Path != "simulate/round/trace" {
+		t.Fatalf("span order: %+v", rep.Spans)
+	}
+	tr := rep.Spans[1]
+	if tr.Count != 3 {
+		t.Fatalf("trace count = %d, want 3", tr.Count)
+	}
+	if tr.TotalMs < 2 || tr.MinMs <= 0 || tr.MaxMs < tr.MinMs {
+		t.Fatalf("implausible aggregate: %+v", tr)
+	}
+	if rep.WallMs <= 0 {
+		t.Fatalf("wall_ms = %v", rep.WallMs)
+	}
+}
+
+func TestRunMetricsAndSeries(t *testing.T) {
+	r := NewRun()
+	r.Set("photons", 1000)
+	r.Add("tallies", 3)
+	r.Add("tallies", 4)
+	// Out-of-order indexed writes must land at their index.
+	r.SetIndexed("rank_photons", 2, 30)
+	r.SetIndexed("rank_photons", 0, 10)
+	r.AddIndexed("round_forwards", 1, 5)
+	r.AddIndexed("round_forwards", 1, 7)
+	rep := r.Report()
+	if rep.Metrics["photons"] != 1000 || rep.Metrics["tallies"] != 7 {
+		t.Fatalf("metrics: %v", rep.Metrics)
+	}
+	want := []float64{10, 0, 30}
+	got := rep.Series["rank_photons"]
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("rank_photons = %v, want %v", got, want)
+	}
+	if rf := rep.Series["round_forwards"]; len(rf) != 2 || rf[1] != 12 {
+		t.Fatalf("round_forwards = %v", rf)
+	}
+}
+
+func TestRunConcurrentRecording(t *testing.T) {
+	r := NewRun()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := r.StartSpan("simulate/chunk")
+				r.Add("tallies", 1)
+				r.AddIndexed("per_worker", w, 1)
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	rep := r.Report()
+	if rep.Metrics["tallies"] != 1600 {
+		t.Fatalf("tallies = %v, want 1600", rep.Metrics["tallies"])
+	}
+	for w, v := range rep.Series["per_worker"] {
+		if v != 200 {
+			t.Fatalf("worker %d recorded %v, want 200", w, v)
+		}
+	}
+	if rep.Spans[0].Count != 1600 {
+		t.Fatalf("span count = %d, want 1600", rep.Spans[0].Count)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{0, 0}, 0},
+		{[]float64{5, 5, 5, 5}, 1},
+		{[]float64{10, 0}, 2},
+		{[]float64{30, 10, 10, 10}, 2},
+	}
+	for _, c := range cases {
+		if got := Imbalance(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Imbalance(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestDisabledPathZeroAllocs pins the disabled-instrumentation contract:
+// every obs call on a nil *Run — span start/end, scalar and indexed
+// metrics — performs zero allocations. This is what lets the engines leave
+// instrumentation unconditionally in their hot loops.
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	var r *Run
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := r.StartSpan("simulate/round/trace")
+		r.Set("photons", 1)
+		r.Add("tallies", 1)
+		r.SetIndexed("rank_photons", 3, 1)
+		r.AddIndexed("round_forwards", 2, 1)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled obs path allocates %v per op, want 0", allocs)
+	}
+}
+
+// BenchmarkDisabledSpan is the same pin as a benchmark, so the cost of the
+// disabled path stays visible in the perf trajectory (-benchtime 1x in CI
+// keeps it honest; run longer locally to see the ~ns/op figure).
+func BenchmarkDisabledSpan(b *testing.B) {
+	var r *Run
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := r.StartSpan("simulate/round/trace")
+		r.Add("tallies", 1)
+		sp.End()
+	}
+}
+
+// BenchmarkEnabledSpan measures the enabled span cost at the coarsest
+// realistic cadence (one span per recorded phase) for the overhead budget.
+func BenchmarkEnabledSpan(b *testing.B) {
+	r := NewRun()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := r.StartSpan("simulate/round/trace")
+		sp.End()
+	}
+}

@@ -1,0 +1,227 @@
+package obs
+
+// Run is the per-run half of the instrumentation spine: one simulation or
+// render attaches a *Run and the engines record hierarchical phase spans
+// (path components separated by "/": "simulate/round/trace") plus scalar
+// metrics and per-index series (per-rank counts, per-round forwards). A nil
+// *Run is the disabled state — every method nil-checks and returns, costing
+// one branch, zero allocations, and no clock read — which is what lets the
+// engines keep obs calls unconditionally in place on their phase
+// boundaries.
+//
+// Spans aggregate by path: recording the "simulate/round/trace" span 40
+// times yields one SpanStats with Count=40 and total/min/max durations,
+// not 40 events. That keeps a Run's memory proportional to the number of
+// distinct phases, not the run length, and makes the report directly
+// comparable across runs of different sizes.
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Run collects one run's observability. Safe for concurrent use by any
+// number of workers or ranks; methods on a nil *Run are no-ops.
+type Run struct {
+	start time.Time
+
+	mu      sync.Mutex
+	spans   map[string]*spanStats
+	metrics map[string]float64
+	series  map[string][]float64
+}
+
+// NewRun returns an enabled collector; its wall clock starts now.
+func NewRun() *Run {
+	return &Run{
+		start:   time.Now(),
+		spans:   make(map[string]*spanStats),
+		metrics: make(map[string]float64),
+		series:  make(map[string][]float64),
+	}
+}
+
+// Enabled reports whether instrumentation is attached. Use it only to gate
+// work that itself costs something (building a label string, say) — plain
+// recording calls are already free on a nil Run.
+func (r *Run) Enabled() bool { return r != nil }
+
+type spanStats struct {
+	count    int64
+	total    time.Duration
+	min, max time.Duration
+}
+
+// Span is one in-flight timed phase. The zero Span (from a disabled Run)
+// is inert: End on it does nothing.
+type Span struct {
+	run   *Run
+	path  string
+	start time.Time
+}
+
+// StartSpan begins timing one occurrence of the phase at path. The caller
+// must End it exactly once. Paths are "/"-separated hierarchies; pass
+// compile-time constants so the disabled path stays allocation-free.
+func (r *Run) StartSpan(path string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{run: r, path: path, start: time.Now()}
+}
+
+// End finishes the span, folding its duration into the path's aggregate.
+func (s Span) End() {
+	if s.run == nil {
+		return
+	}
+	d := time.Since(s.start)
+	r := s.run
+	r.mu.Lock()
+	st, ok := r.spans[s.path]
+	if !ok {
+		st = &spanStats{min: d, max: d}
+		r.spans[s.path] = st
+	}
+	st.count++
+	st.total += d
+	if d < st.min {
+		st.min = d
+	}
+	if d > st.max {
+		st.max = d
+	}
+	r.mu.Unlock()
+}
+
+// Set records metric name = v, overwriting any prior value.
+func (r *Run) Set(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.metrics[name] = v
+	r.mu.Unlock()
+}
+
+// Add accumulates v into metric name.
+func (r *Run) Add(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.metrics[name] += v
+	r.mu.Unlock()
+}
+
+// SetIndexed records series name[idx] = v, growing the series as needed.
+// This is the per-rank recording primitive: concurrent ranks write disjoint
+// indices, so the series ends up in rank order regardless of goroutine
+// schedule.
+func (r *Run) SetIndexed(name string, idx int, v float64) {
+	if r == nil || idx < 0 {
+		return
+	}
+	r.mu.Lock()
+	r.seriesAt(name, idx)[idx] = v
+	r.mu.Unlock()
+}
+
+// AddIndexed accumulates v into series name[idx] — e.g. summing every
+// rank's forwarded-photon count for one round into the round's slot.
+func (r *Run) AddIndexed(name string, idx int, v float64) {
+	if r == nil || idx < 0 {
+		return
+	}
+	r.mu.Lock()
+	r.seriesAt(name, idx)[idx] += v
+	r.mu.Unlock()
+}
+
+// seriesAt returns the series grown to cover idx. Caller holds r.mu.
+func (r *Run) seriesAt(name string, idx int) []float64 {
+	s := r.series[name]
+	for len(s) <= idx {
+		s = append(s, 0)
+	}
+	r.series[name] = s
+	return s
+}
+
+// SpanStats is one phase's aggregate in a Report.
+type SpanStats struct {
+	// Path is the "/"-separated phase hierarchy position.
+	Path string `json:"path"`
+	// Count is the number of span occurrences folded in.
+	Count int64 `json:"count"`
+	// TotalMs, MinMs, MaxMs are the aggregate durations in milliseconds.
+	TotalMs float64 `json:"total_ms"`
+	MinMs   float64 `json:"min_ms"`
+	MaxMs   float64 `json:"max_ms"`
+}
+
+// Report is a Run's JSON-serializable snapshot: the -metrics-json payload.
+type Report struct {
+	// WallMs is the wall time from NewRun to the Report call.
+	WallMs float64 `json:"wall_ms"`
+	// Spans are the phase aggregates, sorted by path.
+	Spans []SpanStats `json:"spans,omitempty"`
+	// Metrics are the scalar metrics, keyed by name.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Series are the indexed series (per-rank, per-round, per-worker).
+	Series map[string][]float64 `json:"series,omitempty"`
+}
+
+// Report snapshots the run. Safe to call while recording continues; a nil
+// Run reports zero.
+func (r *Run) Report() Report {
+	if r == nil {
+		return Report{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := Report{
+		WallMs:  float64(time.Since(r.start)) / float64(time.Millisecond),
+		Metrics: make(map[string]float64, len(r.metrics)),
+		Series:  make(map[string][]float64, len(r.series)),
+	}
+	for k, v := range r.metrics {
+		rep.Metrics[k] = v
+	}
+	for k, v := range r.series {
+		rep.Series[k] = append([]float64(nil), v...)
+	}
+	rep.Spans = make([]SpanStats, 0, len(r.spans))
+	for path, st := range r.spans {
+		rep.Spans = append(rep.Spans, SpanStats{
+			Path:    path,
+			Count:   st.count,
+			TotalMs: float64(st.total) / float64(time.Millisecond),
+			MinMs:   float64(st.min) / float64(time.Millisecond),
+			MaxMs:   float64(st.max) / float64(time.Millisecond),
+		})
+	}
+	sort.Slice(rep.Spans, func(i, j int) bool { return rep.Spans[i].Path < rep.Spans[j].Path })
+	return rep
+}
+
+// Imbalance returns the load-imbalance ratio of a per-rank series: the
+// maximum over the mean, the paper's chapter-6 balance statistic (1.0 is
+// perfect balance). Zero-length or all-zero series report 0.
+func Imbalance(perRank []float64) float64 {
+	if len(perRank) == 0 {
+		return 0
+	}
+	var sum, maxv float64
+	for _, v := range perRank {
+		sum += v
+		if v > maxv {
+			maxv = v
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return maxv / (sum / float64(len(perRank)))
+}

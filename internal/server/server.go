@@ -14,7 +14,11 @@
 //	           &fov=F&w=W&h=H&samples=N&seed=S&exposure=E   → image/png
 //	GET /scenes   → JSON list of built-in scenes + generator families
 //	GET /healthz  → liveness + cache occupancy
-//	GET /statz    → request/render/cache counters and timing totals
+//	GET /statz    → request/render/cache counters and timing totals (JSON)
+//	GET /metrics  → the same telemetry in Prometheus text format 0.0.4
+//
+// With Config.EnablePprof the standard net/http/pprof handlers are also
+// mounted under /debug/pprof/.
 //
 // `answer` names a .pbf file inside Config.AnswerDir; `scene` names a
 // built-in scene or a generator spec (gen:<family>/seed=N/..., see
@@ -32,18 +36,19 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/answer"
 	"repro/internal/bintree"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/scenegen"
 	"repro/internal/scenes"
 	"repro/internal/shared"
@@ -73,6 +78,13 @@ type Config struct {
 	MaxSamples int
 	// Log, when non-nil, receives one line per request.
 	Log *log.Logger
+	// SlowThreshold, when positive, logs any render that took at least
+	// this long (scene/answer key, cache state, duration) to Log — the
+	// request-level tail-latency tripwire. Zero disables it.
+	SlowThreshold time.Duration
+	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/.
+	// Off by default: the profiling surface is opt-in.
+	EnablePprof bool
 }
 
 func (c *Config) normalize() {
@@ -93,15 +105,36 @@ func (c *Config) normalize() {
 	}
 }
 
-// Metrics are the server's telemetry counters, all monotone.
+// Metrics are the server's telemetry instruments, registered on the
+// server's obs.Registry so /metrics exports them in Prometheus text
+// format. Counters are monotone; the histograms carry the latency
+// distributions whose sums back the legacy render_ms total.
 type Metrics struct {
-	Requests    atomic.Int64 // every HTTP request
-	Renders     atomic.Int64 // successful /render responses
-	CacheHits   atomic.Int64 // /render served from a resident solution
-	CacheMisses atomic.Int64 // /render that had to load or simulate
-	Errors4xx   atomic.Int64
-	Errors5xx   atomic.Int64
-	RenderNanos atomic.Int64 // cumulative render wall time
+	Requests       *obs.Counter // every HTTP request
+	Renders        *obs.Counter // successful /render responses
+	CacheHits      *obs.Counter // /render served from a resident solution
+	CacheMisses    *obs.Counter // /render that had to load or simulate
+	CacheEvictions *obs.Counter // resident solutions displaced by the LRU
+	Errors4xx      *obs.Counter
+	Errors5xx      *obs.Counter
+	RequestSeconds *obs.Histogram // wall time of every request
+	RenderSeconds  *obs.Histogram // wall time of successful renders
+	CacheResident  *obs.Gauge     // solutions currently resident
+}
+
+func newMetrics(reg *obs.Registry) Metrics {
+	return Metrics{
+		Requests:       reg.Counter("photon_http_requests_total", "HTTP requests received"),
+		Renders:        reg.Counter("photon_renders_total", "successful /render responses"),
+		CacheHits:      reg.Counter("photon_cache_hits_total", "renders served from a resident solution"),
+		CacheMisses:    reg.Counter("photon_cache_misses_total", "renders that had to load or simulate"),
+		CacheEvictions: reg.Counter("photon_cache_evictions_total", "resident solutions displaced by the LRU"),
+		Errors4xx:      reg.Counter("photon_http_errors_total", "error responses by class", obs.L("class", "4xx")),
+		Errors5xx:      reg.Counter("photon_http_errors_total", "error responses by class", obs.L("class", "5xx")),
+		RequestSeconds: reg.Histogram("photon_http_request_seconds", "request wall time", nil),
+		RenderSeconds:  reg.Histogram("photon_render_seconds", "render wall time of successful renders", nil),
+		CacheResident:  reg.Gauge("photon_cache_resident", "solutions currently resident in the cache"),
+	}
 }
 
 // entry is one cached solution. The sync.Once collapses concurrent first
@@ -122,6 +155,7 @@ type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
 	start   time.Time
+	reg     *obs.Registry
 	metrics Metrics
 
 	// LRU solution cache: order's front is most recently used.
@@ -133,30 +167,48 @@ type Server struct {
 // New constructs a Server; use it directly as an http.Handler.
 func New(cfg Config) *Server {
 	cfg.normalize()
+	reg := obs.NewRegistry()
 	s := &Server{
-		cfg:   cfg,
-		mux:   http.NewServeMux(),
-		start: time.Now(),
-		order: list.New(),
-		items: make(map[string]*list.Element),
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		reg:     reg,
+		metrics: newMetrics(reg),
+		order:   list.New(),
+		items:   make(map[string]*list.Element),
 	}
 	s.mux.HandleFunc("/render", s.handleRender)
 	s.mux.HandleFunc("/scenes", s.handleScenes)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statz", s.handleStatz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
+// Registry exposes the server's metric registry, e.g. for registering
+// process-level metrics alongside the server's own before serving.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
 // MetricsSnapshot returns the current counters (for tests and benches).
+// The key set is part of the /statz surface: the original seven counters
+// plus cache_evictions.
 func (s *Server) MetricsSnapshot() map[string]int64 {
 	return map[string]int64{
-		"requests":     s.metrics.Requests.Load(),
-		"renders":      s.metrics.Renders.Load(),
-		"cache_hits":   s.metrics.CacheHits.Load(),
-		"cache_misses": s.metrics.CacheMisses.Load(),
-		"errors_4xx":   s.metrics.Errors4xx.Load(),
-		"errors_5xx":   s.metrics.Errors5xx.Load(),
-		"render_ms":    s.metrics.RenderNanos.Load() / 1e6,
+		"requests":        s.metrics.Requests.Value(),
+		"renders":         s.metrics.Renders.Value(),
+		"cache_hits":      s.metrics.CacheHits.Value(),
+		"cache_misses":    s.metrics.CacheMisses.Value(),
+		"cache_evictions": s.metrics.CacheEvictions.Value(),
+		"errors_4xx":      s.metrics.Errors4xx.Value(),
+		"errors_5xx":      s.metrics.Errors5xx.Value(),
+		"render_ms":       int64(s.metrics.RenderSeconds.Sum() * 1e3),
 	}
 }
 
@@ -174,24 +226,29 @@ func (w *statusWriter) WriteHeader(code int) {
 // ServeHTTP dispatches with request counting, error-class telemetry and
 // optional per-request logging.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.metrics.Requests.Add(1)
-	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		s.metrics.Errors4xx.Add(1)
+	s.metrics.Requests.Inc()
+	// The pprof endpoints manage their own methods (symbol accepts POST);
+	// everything else on this server is read-only GET/HEAD.
+	if r.Method != http.MethodGet && r.Method != http.MethodHead &&
+		!strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
+		s.metrics.Errors4xx.Inc()
 		http.Error(w, "only GET is supported", http.StatusMethodNotAllowed)
 		return
 	}
 	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 	start := time.Now()
 	s.mux.ServeHTTP(sw, r)
+	elapsed := time.Since(start)
+	s.metrics.RequestSeconds.Observe(elapsed.Seconds())
 	switch {
 	case sw.code >= 500:
-		s.metrics.Errors5xx.Add(1)
+		s.metrics.Errors5xx.Inc()
 	case sw.code >= 400:
-		s.metrics.Errors4xx.Add(1)
+		s.metrics.Errors4xx.Inc()
 	}
 	if s.cfg.Log != nil {
 		s.cfg.Log.Printf("%s %s -> %d (%v)", r.Method, r.URL.RequestURI(), sw.code,
-			time.Since(start).Round(time.Millisecond))
+			elapsed.Round(time.Millisecond))
 	}
 }
 
@@ -211,6 +268,7 @@ func (s *Server) lookup(key string) (e *entry, found bool) {
 		oldest := s.order.Back()
 		s.order.Remove(oldest)
 		delete(s.items, oldest.Value.(*entry).key)
+		s.metrics.CacheEvictions.Inc()
 	}
 	return e, false
 }
@@ -453,9 +511,9 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) countLookup(found bool) {
 	if found {
-		s.metrics.CacheHits.Add(1)
+		s.metrics.CacheHits.Inc()
 	} else {
-		s.metrics.CacheMisses.Add(1)
+		s.metrics.CacheMisses.Inc()
 	}
 }
 
@@ -476,7 +534,16 @@ func (s *Server) respondRender(w http.ResponseWriter, r *http.Request, e *entry,
 		return
 	}
 	elapsed := time.Since(start)
-	s.metrics.RenderNanos.Add(int64(elapsed))
+	s.metrics.RenderSeconds.Observe(elapsed.Seconds())
+	if s.cfg.SlowThreshold > 0 && elapsed >= s.cfg.SlowThreshold && s.cfg.Log != nil {
+		state := "MISS"
+		if cached {
+			state = "HIT"
+		}
+		s.cfg.Log.Printf("SLOW render %s cache=%s %dx%d samples=%d took %v (threshold %v)",
+			e.key, state, cam.Width, cam.Height, samples,
+			elapsed.Round(time.Millisecond), s.cfg.SlowThreshold)
+	}
 
 	// Encode to a buffer first so an encoding failure can still 500
 	// instead of truncating a 200.
@@ -495,7 +562,7 @@ func (s *Server) respondRender(w http.ResponseWriter, r *http.Request, e *entry,
 		h.Set("X-Cache", "MISS")
 	}
 	h.Set("X-Photons", strconv.FormatInt(e.emitted, 10))
-	s.metrics.Renders.Add(1)
+	s.metrics.Renders.Inc()
 	if r.Method == http.MethodHead {
 		return
 	}
@@ -530,5 +597,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.MetricsSnapshot())
+	snap := s.MetricsSnapshot()
+	out := make(map[string]any, len(snap)+1)
+	for k, v := range snap {
+		out[k] = v
+	}
+	// Hit ratio over completed lookups; 0 before any /render arrives so
+	// the field is always present and always a number.
+	ratio := 0.0
+	if total := snap["cache_hits"] + snap["cache_misses"]; total > 0 {
+		ratio = float64(snap["cache_hits"]) / float64(total)
+	}
+	out["cache_hit_ratio"] = ratio
+	writeJSON(w, out)
+}
+
+// handleMetrics serves the registry in Prometheus text format 0.0.4. The
+// resident-solution gauge is refreshed at scrape time: it is a level, not
+// an event stream, so sampling it here keeps it exact without touching
+// the cache's hot path.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	resident := s.order.Len()
+	s.mu.Unlock()
+	s.metrics.CacheResident.Set(float64(resident))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
 }

@@ -6,15 +6,19 @@ import (
 	"fmt"
 	"image/png"
 	"io"
+	"log"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/answer"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/scenegen"
 	"repro/internal/scenes"
 )
@@ -326,4 +330,151 @@ func TestServeCacheEviction(t *testing.T) {
 		t.Error("4xx telemetry not counting")
 	}
 	_ = os.Remove(filepath.Join(dir, "late.pbf"))
+}
+
+// TestStatzContract pins the /statz satellite: application/json
+// Content-Type, well-formed JSON, the cache hit/miss/eviction counters
+// and a hit ratio consistent with them.
+func TestStatzContract(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{CacheSize: 1})
+	// One miss, one hit, then a second answer evicting the first.
+	get(t, ts.URL+"/render?answer=q.pbf&w=16&h=16")
+	get(t, ts.URL+"/render?answer=q.pbf&w=16&h=16")
+
+	resp, body := get(t, ts.URL+"/statz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/statz = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/statz Content-Type = %q, want application/json", ct)
+	}
+	var statz struct {
+		Requests       int64    `json:"requests"`
+		Renders        int64    `json:"renders"`
+		CacheHits      int64    `json:"cache_hits"`
+		CacheMisses    int64    `json:"cache_misses"`
+		CacheEvictions *int64   `json:"cache_evictions"`
+		CacheHitRatio  *float64 `json:"cache_hit_ratio"`
+	}
+	if err := json.Unmarshal(body, &statz); err != nil {
+		t.Fatalf("/statz not JSON: %v\n%s", err, body)
+	}
+	if statz.CacheEvictions == nil || statz.CacheHitRatio == nil {
+		t.Fatalf("/statz missing eviction counter or hit ratio: %s", body)
+	}
+	if statz.CacheHits != 1 || statz.CacheMisses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", statz.CacheHits, statz.CacheMisses)
+	}
+	if want := 0.5; *statz.CacheHitRatio != want {
+		t.Errorf("cache_hit_ratio = %v, want %v", *statz.CacheHitRatio, want)
+	}
+	if *statz.CacheEvictions != 0 {
+		t.Errorf("cache_evictions = %d, want 0", *statz.CacheEvictions)
+	}
+}
+
+// TestMetricsEndpoint: /metrics must serve the Prometheus content type,
+// parse under the repo's own exposition validator, and carry the request
+// and cache families with values matching the JSON snapshot.
+func TestMetricsEndpoint(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{})
+	get(t, ts.URL+"/render?answer=q.pbf&w=16&h=16")
+	get(t, ts.URL+"/render?answer=q.pbf&w=16&h=16")
+
+	resp, body := get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	exp, err := obs.ParseExposition(string(body))
+	if err != nil {
+		t.Fatalf("/metrics does not parse: %v\n%s", err, body)
+	}
+	values := map[string]float64{}
+	for _, sample := range exp.Samples {
+		if cls, ok := sample.Label("class"); ok {
+			values[sample.Name+"{"+cls+"}"] = sample.Value
+			continue
+		}
+		values[sample.Name] = sample.Value
+	}
+	snap := s.MetricsSnapshot()
+	for metric, key := range map[string]string{
+		"photon_http_requests_total":   "requests",
+		"photon_renders_total":         "renders",
+		"photon_cache_hits_total":      "cache_hits",
+		"photon_cache_misses_total":    "cache_misses",
+		"photon_cache_evictions_total": "cache_evictions",
+	} {
+		got, ok := values[metric]
+		if !ok {
+			t.Errorf("/metrics missing %s", metric)
+			continue
+		}
+		// The request counter ticks before the handler runs, so the
+		// scrape sees itself; the snapshot taken afterwards agrees.
+		if int64(got) != snap[key] {
+			t.Errorf("%s = %v, snapshot %s = %d", metric, got, key, snap[key])
+		}
+	}
+	if exp.Types["photon_http_request_seconds"] != "histogram" {
+		t.Errorf("photon_http_request_seconds TYPE = %q, want histogram", exp.Types["photon_http_request_seconds"])
+	}
+	// The scrape observes its own latency only after writing the body, so
+	// the exposition carries just the two renders at this point.
+	if values["photon_http_request_seconds_count"] < 2 {
+		t.Errorf("request histogram count = %v, want >= 2", values["photon_http_request_seconds_count"])
+	}
+	if values["photon_cache_resident"] != 1 {
+		t.Errorf("photon_cache_resident = %v, want 1", values["photon_cache_resident"])
+	}
+}
+
+// TestSlowRequestLog: a render slower than SlowThreshold must emit one
+// SLOW line carrying the cache key, cache state and duration.
+func TestSlowRequestLog(t *testing.T) {
+	var buf bytes.Buffer
+	mu := &sync.Mutex{}
+	_, ts, _ := newTestServer(t, Config{
+		Log:           log.New(lockedWriter{mu, &buf}, "", 0),
+		SlowThreshold: 1 * time.Nanosecond, // every render is "slow"
+	})
+	get(t, ts.URL+"/render?answer=q.pbf&w=16&h=16")
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "SLOW render") {
+		t.Fatalf("no SLOW line logged:\n%s", out)
+	}
+	if !strings.Contains(out, "answer:") || !strings.Contains(out, "cache=MISS") {
+		t.Errorf("SLOW line missing key or cache state:\n%s", out)
+	}
+}
+
+// lockedWriter serializes test-log writes against the test's reads.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+// TestPprofGating: the profiling surface exists only when asked for.
+func TestPprofGating(t *testing.T) {
+	_, off, _ := newTestServer(t, Config{})
+	resp, _ := get(t, off.URL+"/debug/pprof/cmdline")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without EnablePprof = %d, want 404", resp.StatusCode)
+	}
+	_, on, _ := newTestServer(t, Config{EnablePprof: true})
+	resp, _ = get(t, on.URL+"/debug/pprof/cmdline")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof with EnablePprof = %d, want 200", resp.StatusCode)
+	}
 }

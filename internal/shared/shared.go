@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/bintree"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/scenes"
 )
@@ -47,6 +48,12 @@ type Config struct {
 	// total. It is invoked by whichever worker holds the merge baton, in
 	// strictly increasing order of done.
 	Progress func(done, total int64)
+	// Obs, when non-nil, records the engine's interior phases: one
+	// "simulate/chunk" span per traced chunk (totals sum across concurrent
+	// workers, so TotalMs reads as trace CPU-time), one "simulate/merge"
+	// span per merged chunk, and the per-worker photon counts in the
+	// "worker_photons" series. Spans wrap whole chunks, never photons.
+	Obs *obs.Run
 }
 
 // DefaultConfig uses all available CPUs.
@@ -143,6 +150,7 @@ type merger struct {
 	done     int64
 	total    int64
 	progress func(done, total int64)
+	obs      *obs.Run
 }
 
 type mergeChunk struct {
@@ -172,7 +180,9 @@ func (m *merger) commit(idx, photons int64, buf []core.Tally) {
 		}
 		delete(m.pending, m.next)
 		m.mu.Unlock()
+		span := m.obs.StartSpan("simulate/merge")
 		splits := m.apply(c.buf)
+		span.End()
 		m.mu.Lock()
 		m.splits += splits
 		m.done += c.photons
@@ -240,6 +250,7 @@ func Run(scene *scenes.Scene, cfg Config) (*core.Result, error) {
 		lf:       lf,
 		total:    coreCfg.Photons,
 		progress: cfg.Progress,
+		obs:      cfg.Obs,
 	}
 	m.frontier.L = &m.mu
 
@@ -256,12 +267,17 @@ func Run(scene *scenes.Scene, cfg Config) (*core.Result, error) {
 					break
 				}
 				// Private per-worker buffer: the trace loop touches no
-				// shared state at all.
+				// shared state at all. The span wraps the whole chunk —
+				// commit (which may take the merge baton) is excluded, so
+				// chunk time is pure trace time.
+				span := cfg.Obs.StartSpan("simulate/chunk")
 				buf := make([]core.Tally, 0, (hi-lo)*3)
 				deliver := func(t core.Tally) { buf = append(buf, t) }
 				for i := lo; i < hi; i++ {
 					sim.TracePhotonFunc(core.PhotonStream(coreCfg.Seed, i), &st, deliver)
 				}
+				span.End()
+				cfg.Obs.AddIndexed("worker_photons", w, float64(hi-lo))
 				m.commit(idx, hi-lo, buf)
 			}
 			statsCh <- st

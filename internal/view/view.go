@@ -16,10 +16,12 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bintree"
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/sampler"
 	"repro/internal/scenes"
 	"repro/internal/vecmath"
@@ -111,6 +113,12 @@ type Options struct {
 	// any worker count; different Seeds produce independently jittered
 	// images.
 	Seed int64
+	// Obs, when non-nil, records the render's phases: a "render" span over
+	// the whole frame, one "render/tile" span per claimed tile (totals sum
+	// across concurrent workers), a "render/tonemap" span, and the pixels,
+	// primary_rays and rays_per_sec metrics. The output image is unchanged
+	// by instrumentation.
+	Obs *obs.Run
 }
 
 // tileSize is the square tile edge dealt to render workers. 32×32 pixels
@@ -222,6 +230,11 @@ func Render(sc *scenes.Scene, forest *bintree.Forest, cam Camera, opts Options) 
 	// First pass: raw radiance per pixel, tile-parallel. Workers claim
 	// tiles from the ticket counter, render into a private tile buffer,
 	// then copy the rows into the (disjoint) frame region.
+	renderSpan := opts.Obs.StartSpan("render")
+	var renderStart time.Time
+	if opts.Obs.Enabled() {
+		renderStart = time.Now()
+	}
 	rad := make([]bintree.RGB, cam.Width*cam.Height)
 	tilesX := (cam.Width + tileSize - 1) / tileSize
 	tilesY := (cam.Height + tileSize - 1) / tileSize
@@ -242,6 +255,7 @@ func Render(sc *scenes.Scene, forest *bintree.Forest, cam Camera, opts Options) 
 				if idx >= nTiles {
 					return
 				}
+				span := opts.Obs.StartSpan("render/tile")
 				x0 := int(idx%int64(tilesX)) * tileSize
 				y0 := int(idx/int64(tilesX)) * tileSize
 				x1 := min(x0+tileSize, cam.Width)
@@ -255,10 +269,21 @@ func Render(sc *scenes.Scene, forest *bintree.Forest, cam Camera, opts Options) 
 					copy(rad[py*cam.Width+x0:py*cam.Width+x1],
 						tile[(py-y0)*tileSize:(py-y0)*tileSize+(x1-x0)])
 				}
+				span.End()
 			}
 		}()
 	}
 	wg.Wait()
+	renderSpan.End()
+	if opts.Obs.Enabled() {
+		pixels := float64(cam.Width) * float64(cam.Height)
+		rays := pixels * float64(samples) * float64(samples)
+		opts.Obs.Set("pixels", pixels)
+		opts.Obs.Set("primary_rays", rays)
+		if s := time.Since(renderStart).Seconds(); s > 0 {
+			opts.Obs.Set("rays_per_sec", rays/s)
+		}
+	}
 
 	// Exposure.
 	exposure := opts.Exposure
@@ -280,6 +305,7 @@ func Render(sc *scenes.Scene, forest *bintree.Forest, cam Camera, opts Options) 
 	}
 
 	// Second pass: Reinhard tone map + gamma.
+	toneSpan := opts.Obs.StartSpan("render/tonemap")
 	img := image.NewRGBA(image.Rect(0, 0, cam.Width, cam.Height))
 	for i, r := range rad {
 		img.SetRGBA(i%cam.Width, i/cam.Width, color.RGBA{
@@ -289,6 +315,7 @@ func Render(sc *scenes.Scene, forest *bintree.Forest, cam Camera, opts Options) 
 			A: 255,
 		})
 	}
+	toneSpan.End()
 	return img, nil
 }
 
