@@ -1,0 +1,42 @@
+// photon-worker joins a photon-coord coordinator and executes one rank
+// of each job attempt the coordinator assigns it. It keeps serving —
+// surviving failed attempts and re-joining the next one — until the
+// coordinator shuts the job down.
+//
+//	photon-worker -coord 127.0.0.1:9333
+//
+// The join handshake is versioned: a worker built from a different wire
+// format is rejected by the coordinator rather than silently producing a
+// corrupt mesh.
+package main
+
+import (
+	"flag"
+	"log"
+
+	"repro/internal/coord"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("photon-worker: ")
+
+	var (
+		coordAddr = flag.String("coord", "", "coordinator control address (required)")
+		meshHost  = flag.String("mesh-host", "127.0.0.1", "host this worker's mesh listener advertises")
+		failAfter = flag.Int("fail-after-round", -1, "fault injection: exit(3) after this round of the first assignment (tests only)")
+	)
+	flag.Parse()
+	if *coordAddr == "" {
+		log.Fatal("-coord is required")
+	}
+
+	err := coord.RunWorker(*coordAddr, coord.WorkerOptions{
+		MeshHost:       *meshHost,
+		FailAfterRound: *failAfter,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("job complete, shutting down")
+}

@@ -1,0 +1,78 @@
+package bintree
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+)
+
+// Gob transport for trees and forests. The multi-process distributed
+// engine ships section trees between ranks (gather, tally checkpoints)
+// via encoding/gob; Tree and Forest have unexported fields, so they
+// implement GobEncoder/GobDecoder themselves on top of the same binary
+// node codec the answer-file format uses. binary.Write/Read move float64
+// bits verbatim, so a round trip is bit-exact — a gathered or resumed
+// tree fingerprints identically to the original, which the cross-process
+// conformance contract depends on.
+
+// GobEncode implements gob.GobEncoder.
+func (t *Tree) GobEncode() ([]byte, error) {
+	var b bytes.Buffer
+	if err := writeAll(&b, t.cfg.SplitSigma, t.cfg.MinCount, int64(t.cfg.MaxDepth),
+		t.root.lo[0], t.root.lo[1], t.root.lo[2], t.root.lo[3],
+		t.root.hi[0], t.root.hi[1], t.root.hi[2], t.root.hi[3],
+		t.total); err != nil {
+		return nil, err
+	}
+	if err := encodeNode(&b, t.root); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (t *Tree) GobDecode(data []byte) error {
+	r := bytes.NewReader(data)
+	var cfg Config
+	var minCount, maxDepth int64
+	var lo, hi [numAxes]float64
+	var total int64
+	if err := readAll(r, &cfg.SplitSigma, &minCount, &maxDepth,
+		&lo[0], &lo[1], &lo[2], &lo[3],
+		&hi[0], &hi[1], &hi[2], &hi[3],
+		&total); err != nil {
+		return fmt.Errorf("bintree: tree gob header: %w", err)
+	}
+	cfg.MinCount = minCount
+	cfg.MaxDepth = int(maxDepth)
+	for a := 0; a < numAxes; a++ {
+		if !(lo[a] < hi[a]) || math.IsNaN(lo[a]) || math.IsNaN(hi[a]) {
+			return fmt.Errorf("bintree: tree gob has invalid domain")
+		}
+	}
+	root, nodes, leaves, err := decodeNode(r, lo, hi, 0)
+	if err != nil {
+		return fmt.Errorf("bintree: tree gob nodes: %w", err)
+	}
+	t.cfg, t.root, t.total, t.nodes, t.leaves = cfg, root, total, nodes, leaves
+	return nil
+}
+
+// GobEncode implements gob.GobEncoder via the answer-file codec.
+func (f *Forest) GobEncode() ([]byte, error) {
+	var b bytes.Buffer
+	if err := EncodeForest(&b, f); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (f *Forest) GobDecode(data []byte) error {
+	dec, err := DecodeForest(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	*f = *dec
+	return nil
+}

@@ -1,0 +1,108 @@
+package bintree
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// populated builds a forest with enough adversarial tallies to force
+// splits at varied depths, so the round trip exercises interior nodes,
+// speculative half-counts, and exact float bits.
+func populated(t *testing.T) *Forest {
+	t.Helper()
+	f := NewForestSectioned(3, 2, DefaultConfig())
+	src := rng.New(7)
+	for i := 0; i < 20000; i++ {
+		p := Point{
+			S:     src.Float64() * src.Float64(), // skewed: drives splits
+			T:     src.Float64(),
+			R2:    src.Float64(),
+			Theta: src.Float64() * 6.28,
+		}
+		f.Add(i%3, p, RGB{R: src.Float64(), G: 0.25, B: src.Float64() * 1e-3})
+	}
+	return f
+}
+
+func TestTreeGobRoundTripBitExact(t *testing.T) {
+	f := populated(t)
+	for i := 0; i < f.NumTrees(); i++ {
+		orig := f.Tree(i)
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(orig); err != nil {
+			t.Fatalf("tree %d encode: %v", i, err)
+		}
+		var back *Tree
+		if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+			t.Fatalf("tree %d decode: %v", i, err)
+		}
+		single := NewForest(1, f.Config())
+		single.ReplaceTree(0, orig)
+		singleBack := NewForest(1, f.Config())
+		singleBack.ReplaceTree(0, back)
+		if singleBack.Fingerprint() != single.Fingerprint() {
+			t.Fatalf("tree %d round trip changed fingerprint", i)
+		}
+		if back.Total() != orig.Total() || back.Leaves() != orig.Leaves() {
+			t.Fatalf("tree %d totals drifted: %d/%d leaves %d/%d",
+				i, back.Total(), orig.Total(), back.Leaves(), orig.Leaves())
+		}
+	}
+}
+
+func TestForestGobRoundTripBitExact(t *testing.T) {
+	f := populated(t)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	var back *Forest
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != f.Fingerprint() {
+		t.Fatal("forest round trip changed fingerprint")
+	}
+	if back.Cells() != f.Cells() || back.NumTrees() != f.NumTrees() {
+		t.Fatalf("forest shape drifted: cells %d/%d trees %d/%d",
+			back.Cells(), f.Cells(), back.NumTrees(), f.NumTrees())
+	}
+}
+
+// TestTreeCloneIsDeepAndExact pins the checkpoint-snapshot contract: a
+// clone fingerprints identically to the original, and tallying into the
+// original afterwards must not leak into the clone.
+func TestTreeCloneIsDeepAndExact(t *testing.T) {
+	f := populated(t)
+	orig := f.Tree(0)
+	clone := orig.Clone()
+
+	fp := func(tr *Tree) uint64 {
+		s := NewForest(1, f.Config())
+		s.ReplaceTree(0, tr)
+		return s.Fingerprint()
+	}
+	want := fp(clone)
+	if fp(orig) != want {
+		t.Fatal("clone changed the fingerprint")
+	}
+	for i := 0; i < 5000; i++ {
+		orig.Add(Point{S: 0.01, T: 0.99, R2: 0.5, Theta: 1}, RGB{R: 1})
+	}
+	if fp(clone) != want {
+		t.Fatal("mutating the original leaked into the clone")
+	}
+	if clone.Total() == orig.Total() {
+		t.Fatal("totals still aliased")
+	}
+}
+
+func TestTreeGobRejectsGarbage(t *testing.T) {
+	var tr Tree
+	if err := tr.GobDecode([]byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,155 @@
+package dist
+
+// Coordinated checkpoint/restart for the replicated engine — the
+// checkpoint/restart pattern from the fault-tolerance literature rather
+// than restart-from-scratch. After every configured number of exchange
+// rounds, all ranks gather their complete mutable state (owned section
+// trees, counters) to rank 0, which persists one Checkpoint. When a
+// worker dies mid-job, the coordinator restarts the attempt with every
+// rank — survivors and the replacement alike — restored from the last
+// Checkpoint, and the round loop continues where it left off. Because
+// photon trajectories are pure functions of (seed, index) and tally
+// application is photon-ordered, the resumed run's remaining rounds are
+// bit-identical to the ones the failed attempt would have produced: the
+// final forest fingerprints equal to an uninterrupted run's.
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"repro/internal/bintree"
+	"repro/internal/core"
+	"repro/internal/mpi"
+)
+
+// CheckpointVersion pins the checkpoint encoding. Load rejects files
+// written by a binary with a different pin, like the join handshake
+// rejects mismatched workers.
+const CheckpointVersion = 1
+
+// RankSnapshot is one rank's complete mutable engine state as of a round
+// boundary: the trees it owns and its counters. Stats.BinSplits holds the
+// splits observed so far (the live engine folds them in only at the end).
+type RankSnapshot struct {
+	Rank      int
+	RankStats RankStats
+	Stats     core.Stats
+	Sections  []OwnedSection
+}
+
+// Checkpoint is the coordinated whole-job snapshot after Round completed.
+type Checkpoint struct {
+	Version int
+	Ranks   int
+	Round   int
+	Snaps   []RankSnapshot
+}
+
+// forRank returns rank me's snapshot, validating that the checkpoint
+// matches the world it is being restored into.
+func (ck *Checkpoint) forRank(me, size int) (*RankSnapshot, error) {
+	if ck.Version != CheckpointVersion {
+		return nil, fmt.Errorf("dist: checkpoint version %d, this binary speaks %d", ck.Version, CheckpointVersion)
+	}
+	if ck.Ranks != size {
+		return nil, fmt.Errorf("dist: checkpoint has %d ranks, world has %d", ck.Ranks, size)
+	}
+	for i := range ck.Snaps {
+		if ck.Snaps[i].Rank == me {
+			return &ck.Snaps[i], nil
+		}
+	}
+	return nil, fmt.Errorf("dist: checkpoint has no snapshot for rank %d", me)
+}
+
+// ByteSize reports a realistic wire size for the snapshot gather.
+func (s RankSnapshot) ByteSize() int {
+	n := 128
+	for _, sec := range s.Sections {
+		n += 8 + int(sec.Tree.MemoryBytes())
+	}
+	return n
+}
+
+// checkpointRound is the collective snapshot gather: every rank sends its
+// state to rank 0; rank 0 assembles the Checkpoint and hands it to sink.
+// The sink runs before the next round starts, so the live trees cannot
+// mutate under serialization.
+func checkpointRound(c mpi.Communicator, round int, forest *bintree.Forest,
+	owners []int, rs RankStats, st core.Stats, splits int64,
+	sink func(*Checkpoint) error,
+) error {
+	me := c.Rank()
+	st.BinSplits = splits
+	// Deep-copy the owned trees: the snapshot outlives this round (rank 0
+	// retains the assembled Checkpoint for resume, and the in-process
+	// transport passes pointers), while the live trees keep mutating.
+	sections := ownedSections(forest, owners, me)
+	for i := range sections {
+		sections[i].Tree = sections[i].Tree.Clone()
+	}
+	snap := RankSnapshot{
+		Rank:      me,
+		RankStats: rs,
+		Stats:     st,
+		Sections:  sections,
+	}
+	if me != 0 {
+		return c.Send(0, tagCkpt, snap)
+	}
+	ck := &Checkpoint{Version: CheckpointVersion, Ranks: c.Size(), Round: round,
+		Snaps: make([]RankSnapshot, c.Size())}
+	ck.Snaps[0] = snap
+	for src := 1; src < c.Size(); src++ {
+		p, _, ok := c.Recv(src, tagCkpt)
+		if !ok {
+			return closedErr(c, "checkpoint gather")
+		}
+		ck.Snaps[src] = p.(RankSnapshot)
+	}
+	if sink == nil {
+		return nil
+	}
+	if err := sink(ck); err != nil {
+		return fmt.Errorf("dist: persisting checkpoint at round %d: %w", round, err)
+	}
+	return nil
+}
+
+// SaveCheckpoint atomically writes ck to path (write temp, rename).
+func SaveCheckpoint(path string, ck *Checkpoint) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(ck); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint, rejecting
+// version mismatches.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var ck Checkpoint
+	if err := gob.NewDecoder(f).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("dist: decoding checkpoint %s: %w", path, err)
+	}
+	if ck.Version != CheckpointVersion {
+		return nil, fmt.Errorf("dist: checkpoint %s is version %d, this binary speaks %d", path, ck.Version, CheckpointVersion)
+	}
+	return &ck, nil
+}

@@ -65,11 +65,14 @@ func (b Balance) String() string {
 // Message tags. Each collective gets its own tag space; AllToAll receives
 // per source, so tags never need to vary per round.
 const (
-	tagTally  = 100 // replicated engine: batched tally exchange
-	tagGather = 101 // both engines: owned-section gather to rank 0
-	tagFlight = 102 // geo engine: photon-flight forwarding
-	tagGeoTal = 103 // geo engine: off-owner tally routing
-	tagWork   = 110 // geo engine: termination AllReduce (uses +1 too)
+	tagTally   = 100 // replicated engine: batched tally exchange
+	tagGather  = 101 // both engines: owned-section gather to rank 0
+	tagFlight  = 102 // geo engine: photon-flight forwarding
+	tagGeoTal  = 103 // geo engine: off-owner tally routing
+	tagStats   = 104 // multi-process driver: per-rank stats gather to rank 0
+	tagTraffic = 105 // multi-process driver: per-rank traffic-row gather
+	tagCkpt    = 106 // replicated engine: per-round snapshot gather to rank 0
+	tagWork    = 110 // geo engine: termination AllReduce (uses +1 too)
 )
 
 // Config parameterizes a distributed simulation. The zero value of Balance
@@ -207,16 +210,16 @@ type Result struct {
 	Forwards int64
 }
 
-// ownedSection carries one section tree from its owning rank to rank 0
-// during final assembly.
-type ownedSection struct {
+// OwnedSection carries one section tree from its owning rank to rank 0 —
+// during the final gather, and inside RankSnapshot for checkpoints.
+type OwnedSection struct {
 	Unit int
 	Tree *bintree.Tree
 }
 
 // sectionBundle is the gather payload: every section a rank owns.
 type sectionBundle struct {
-	Sections []ownedSection
+	Sections []OwnedSection
 }
 
 // ByteSize reports the realistic wire size of the bundled trees so the
@@ -229,21 +232,39 @@ func (b sectionBundle) ByteSize() int {
 	return n
 }
 
+// ownedSections collects the trees of the units rank me owns.
+func ownedSections(local *bintree.Forest, owners []int, me int) []OwnedSection {
+	var out []OwnedSection
+	for unit, owner := range owners {
+		if owner == me {
+			out = append(out, OwnedSection{Unit: unit, Tree: local.Tree(unit)})
+		}
+	}
+	return out
+}
+
+// closedErr wraps a Recv failure with the communicator's recorded cause,
+// so a TCP peer's death names itself instead of collapsing into a generic
+// "world closed".
+func closedErr(c mpi.Communicator, during string) error {
+	if err := c.Err(); err != nil {
+		return fmt.Errorf("dist: world closed during %s: %w", during, err)
+	}
+	return fmt.Errorf("dist: world closed during %s", during)
+}
+
 // gatherForest assembles the final answer on rank 0: every rank sends the
 // trees of the units it owns; rank 0 installs them into a fresh forest.
 // Ownership is disjoint, so assembly is exact — no approximate merging of
 // divergent adaptive binnings, which is precisely what ownership exists to
 // avoid. Returns the forest on rank 0, nil elsewhere.
-func gatherForest(c *mpi.Comm, local *bintree.Forest, owners []int, nPatches, cells int, binCfg bintree.Config) (*bintree.Forest, error) {
+func gatherForest(c mpi.Communicator, local *bintree.Forest, owners []int, nPatches, cells int, binCfg bintree.Config) (*bintree.Forest, error) {
 	me := c.Rank()
 	if me != 0 {
-		var bundle sectionBundle
-		for unit, owner := range owners {
-			if owner == me {
-				bundle.Sections = append(bundle.Sections, ownedSection{Unit: unit, Tree: local.Tree(unit)})
-			}
+		bundle := sectionBundle{Sections: ownedSections(local, owners, me)}
+		if err := c.Send(0, tagGather, bundle); err != nil {
+			return nil, err
 		}
-		c.Send(0, tagGather, bundle)
 		return nil, nil
 	}
 	final := bintree.NewForestSectioned(nPatches, cells, binCfg)
@@ -255,7 +276,7 @@ func gatherForest(c *mpi.Comm, local *bintree.Forest, owners []int, nPatches, ce
 	for i := 1; i < c.Size(); i++ {
 		p, _, ok := c.Recv(mpi.AnySource, tagGather)
 		if !ok {
-			return nil, fmt.Errorf("dist: world closed during gather")
+			return nil, closedErr(c, "gather")
 		}
 		for _, s := range p.(sectionBundle).Sections {
 			final.ReplaceTree(s.Unit, s.Tree)

@@ -37,16 +37,22 @@ type geoFlight struct {
 	RngState uint64
 }
 
-// GeoRun executes the geometry-distributed simulation.
-func GeoRun(scene *scenes.Scene, cfg Config) (*Result, error) {
-	if err := cfg.normalize(); err != nil {
-		return nil, err
-	}
+// geoPlan is the deterministic pre-run state every geo rank derives
+// identically: simulator, polygon ownership, and per-rank photon shares.
+type geoPlan struct {
+	sim        *core.Simulator
+	patchOwner []int
+	share      []int64
+	starts     []int64
+}
+
+// planGeo computes the geo engine's deterministic plan. cfg must already
+// be normalized.
+func planGeo(scene *scenes.Scene, cfg Config) (*geoPlan, error) {
 	sim, err := core.NewSimulator(scene, cfg.Core)
 	if err != nil {
 		return nil, err
 	}
-	coreCfg := sim.Config() // normalized by NewSimulator
 	nPatches := len(scene.Geom.Patches)
 
 	// Polygon ownership: the rank owning the region of the centroid.
@@ -63,6 +69,21 @@ func GeoRun(scene *scenes.Scene, cfg Config) (*Result, error) {
 	for r := 1; r < cfg.Ranks; r++ {
 		starts[r] = starts[r-1] + share[r-1]
 	}
+	return &geoPlan{sim: sim, patchOwner: patchOwner, share: share, starts: starts}, nil
+}
+
+// GeoRun executes the geometry-distributed simulation.
+func GeoRun(scene *scenes.Scene, cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	plan, err := planGeo(scene, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sim, patchOwner, share, starts := plan.sim, plan.patchOwner, plan.share, plan.starts
+	coreCfg := sim.Config() // normalized by NewSimulator
+	nPatches := len(scene.Geom.Patches)
 
 	perRank := make([]RankStats, cfg.Ranks)
 	statsPerRank := make([]core.Stats, cfg.Ranks)
@@ -132,7 +153,7 @@ func regionRank(scene *scenes.Scene, p vecmath.Vec3, ranks int) int {
 
 // geoRank is one rank's state for the duration of a GeoRun.
 type geoRank struct {
-	comm       *mpi.Comm
+	comm       mpi.Communicator
 	scene      *scenes.Scene
 	sim        *core.Simulator
 	seed       int64

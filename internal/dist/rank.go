@@ -1,0 +1,220 @@
+package dist
+
+// Multi-process entry points: one OS process executes one rank of a
+// distributed simulation over any mpi.Communicator — in practice a
+// TCPComm mesh built by the coordinator/worker join protocol, but the
+// in-process Comm works identically (the transport conformance suite and
+// the in-process coord tests run exactly that).
+//
+// Each process derives the whole deterministic plan (simulator, pre-phase
+// load estimate, ownership assignment, round count) redundantly from the
+// scene spec and config — the paper's redundant pre-phase generalized to
+// process startup — so a rank needs nothing from its peers before the
+// first exchange round. Rank 0 finishes holding the assembled Result;
+// every other rank returns nil. The engine bodies are the same functions
+// the in-process drivers call, so TCP ranks produce bit-identical forests
+// and stats — the cross-process conformance contract, pinned by the
+// subprocess tests at the repo root.
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/bintree"
+	"repro/internal/core"
+	"repro/internal/loadbalance"
+	"repro/internal/mpi"
+	"repro/internal/scenes"
+)
+
+// init registers every concrete type the engines put on the wire, so any
+// binary linking dist can exchange with any other. The set is part of the
+// wire format: changing it requires bumping coord's WireVersion.
+func init() {
+	gob.Register(sectionBundle{})
+	gob.Register(RankSnapshot{})
+	gob.Register(rankReport{})
+	gob.Register(trafficRow{})
+	mpi.RegisterAllToAllPayload[core.Tally]()
+	mpi.RegisterAllToAllPayload[geoFlight]()
+}
+
+// RankOptions carries the multi-process driver's per-rank knobs.
+type RankOptions struct {
+	// CheckpointEvery enables coordinated checkpointing every N completed
+	// rounds (replicated engine only). Must agree across all ranks — the
+	// snapshot gather is a collective.
+	CheckpointEvery int
+	// CheckpointSink receives each assembled Checkpoint on rank 0.
+	CheckpointSink func(*Checkpoint) error
+	// Resume restarts the round loop from a prior Checkpoint. All ranks
+	// must be given the same Checkpoint.
+	Resume *Checkpoint
+	// AfterRound is a fault-injection hook: called after each completed
+	// round (and its checkpoint), on every rank.
+	AfterRound func(round int)
+}
+
+func (opt RankOptions) hooks() rankHooks {
+	return rankHooks{
+		checkpointEvery: opt.CheckpointEvery,
+		sink:            opt.CheckpointSink,
+		resume:          opt.Resume,
+		afterRound:      opt.AfterRound,
+	}
+}
+
+// RunRank executes one rank of the replicated-geometry engine on c.
+// cfg.Ranks must equal c.Size(). Rank 0 returns the assembled Result;
+// other ranks return (nil, nil) on success.
+func RunRank(c mpi.Communicator, scene *scenes.Scene, cfg Config, opt RankOptions) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if cfg.Ranks != c.Size() {
+		return nil, fmt.Errorf("dist: config wants %d ranks, world has %d", cfg.Ranks, c.Size())
+	}
+	plan, err := planReplicated(scene, cfg)
+	if err != nil {
+		return nil, err
+	}
+	forest, rs, st, err := runRank(c, plan.sim, cfg, plan.asn.Owner, plan.rounds, plan.binCfg, opt.hooks())
+	if err != nil {
+		return nil, err
+	}
+	return gatherRankResult(c, scene, forest, rs, st, 0, plan.asn.Owner, plan.asn)
+}
+
+// GeoRunRank executes one rank of the geometry-distributed engine on c.
+// Checkpoint/resume is not supported for geo (its in-flight photon state
+// spans ranks mid-round); pass a zero RankOptions.
+func GeoRunRank(c mpi.Communicator, scene *scenes.Scene, cfg Config, opt RankOptions) (*Result, error) {
+	if opt.CheckpointEvery > 0 || opt.Resume != nil {
+		return nil, fmt.Errorf("dist: checkpoint/resume supports the replicated engine only")
+	}
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if cfg.Ranks != c.Size() {
+		return nil, fmt.Errorf("dist: config wants %d ranks, world has %d", cfg.Ranks, c.Size())
+	}
+	if cfg.Sections > 1 {
+		return nil, fmt.Errorf("dist: geo does not support sectioned forests (Sections=%d)", cfg.Sections)
+	}
+	plan, err := planGeo(scene, cfg)
+	if err != nil {
+		return nil, err
+	}
+	me := c.Rank()
+	g := &geoRank{
+		comm: c, scene: scene, sim: plan.sim,
+		seed:       plan.sim.Config().Seed,
+		batch:      int64(cfg.BatchSize),
+		photons:    plan.sim.Config().Photons,
+		patchOwner: plan.patchOwner,
+		forest:     bintree.NewForest(len(scene.Geom.Patches), plan.sim.Config().Bin),
+		progress:   cfg.Progress,
+		obs:        cfg.Obs,
+		rs:         RankStats{Rank: me},
+	}
+	final, err := g.run(plan.share[me], plan.starts[me])
+	if err != nil {
+		return nil, err
+	}
+	return gatherRankResult(c, scene, final, g.rs, g.st, g.forwards, plan.patchOwner, nil)
+}
+
+// rankReport is the end-of-run per-rank telemetry gathered to rank 0.
+type rankReport struct {
+	RankStats RankStats
+	Stats     core.Stats
+	Forwards  int64
+}
+
+// trafficRow is one rank's outgoing row of the world pair matrix.
+type trafficRow struct {
+	Msgs, Bytes []int64
+}
+
+// gatherRankResult assembles the multi-process Result on rank 0: every
+// rank reports its stats and its traffic row (the row snapshot is taken
+// after the stats send, so only the row message itself goes uncounted).
+// Rank 0 merges the rows into the full pair matrix — this is what keeps
+// Traffic.SentByRank/RecvByRank meaningful when ranks are processes that
+// each observe only their own endpoints.
+func gatherRankResult(c mpi.Communicator, scene *scenes.Scene, forest *bintree.Forest,
+	rs RankStats, st core.Stats, forwards int64, owners []int, balance *loadbalance.Assignment,
+) (*Result, error) {
+	me, size := c.Rank(), c.Size()
+	if me != 0 {
+		if err := c.Send(0, tagStats, rankReport{RankStats: rs, Stats: st, Forwards: forwards}); err != nil {
+			return nil, err
+		}
+		row := c.TrafficStats()
+		if err := c.Send(0, tagTraffic, trafficRow{Msgs: row.PerPair[me], Bytes: row.PerPairBytes[me]}); err != nil {
+			return nil, err
+		}
+		// Finalize barrier: hold the mesh open until rank 0 has consumed
+		// every gather message. A rank that closed its sockets the moment
+		// its own sends returned would EOF rank 0's readers and kill
+		// delivery from ranks still draining.
+		return nil, c.Barrier()
+	}
+
+	perRank := make([]RankStats, size)
+	perRank[0] = rs
+	total := st
+	allForwards := forwards
+	for src := 1; src < size; src++ {
+		p, _, ok := c.Recv(src, tagStats)
+		if !ok {
+			return nil, closedErr(c, "stats gather")
+		}
+		rep := p.(rankReport)
+		perRank[src] = rep.RankStats
+		total.Add(rep.Stats)
+		allForwards += rep.Forwards
+	}
+
+	own := c.TrafficStats()
+	tr := mpi.Traffic{
+		PerPair:      make([][]int64, size),
+		PerPairBytes: make([][]int64, size),
+	}
+	tr.PerPair[0] = append([]int64(nil), own.PerPair[0]...)
+	tr.PerPairBytes[0] = append([]int64(nil), own.PerPairBytes[0]...)
+	for src := 1; src < size; src++ {
+		p, _, ok := c.Recv(src, tagTraffic)
+		if !ok {
+			return nil, closedErr(c, "traffic gather")
+		}
+		row := p.(trafficRow)
+		tr.PerPair[src] = row.Msgs
+		tr.PerPairBytes[src] = row.Bytes
+	}
+	for i := range tr.PerPair {
+		for j := range tr.PerPair[i] {
+			tr.Messages += tr.PerPair[i][j]
+			tr.Bytes += tr.PerPairBytes[i][j]
+		}
+	}
+
+	// Release the finalize barrier: everything is assembled, peers may
+	// now tear down their meshes.
+	if err := c.Barrier(); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Result: &core.Result{
+			Scene:          scene,
+			Forest:         forest,
+			Stats:          total,
+			EmittedPhotons: total.PhotonsEmitted,
+		},
+		PerRank:  perRank,
+		Traffic:  tr,
+		Owners:   owners,
+		Balance:  balance,
+		Forwards: allForwards,
+	}, nil
+}

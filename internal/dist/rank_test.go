@@ -1,0 +1,189 @@
+package dist
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/scenes"
+)
+
+// runRanks drives fn as one rank per goroutine over an in-process world —
+// the same shape the coordinator/worker binaries have over TCP, so these
+// tests pin the multi-process entry points without sockets.
+func runRanks(t *testing.T, ranks int, fn func(c *mpi.Comm) (*Result, error)) *Result {
+	t.Helper()
+	var mu sync.Mutex
+	var res *Result
+	_, err := mpi.Run(ranks, func(c *mpi.Comm) error {
+		r, err := fn(c)
+		if err != nil {
+			return err
+		}
+		if r != nil {
+			mu.Lock()
+			res = r
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("no rank returned a result")
+	}
+	return res
+}
+
+func TestRunRankMatchesRun(t *testing.T) {
+	sc, err := scenes.Quickstart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const photons = 20000
+	cfg := DefaultConfig(photons, 3)
+	want, err := Run(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runRanks(t, 3, func(c *mpi.Comm) (*Result, error) {
+		return RunRank(c, sc, DefaultConfig(photons, 3), RankOptions{})
+	})
+	if g, w := got.Forest.Fingerprint(), want.Forest.Fingerprint(); g != w {
+		t.Fatalf("fingerprint %x, in-process Run gives %x", g, w)
+	}
+	if got.Stats != want.Stats {
+		t.Fatalf("stats %+v, in-process Run gives %+v", got.Stats, want.Stats)
+	}
+	for r := range want.PerRank {
+		if got.PerRank[r] != want.PerRank[r] {
+			t.Fatalf("rank %d stats %+v, in-process Run gives %+v", r, got.PerRank[r], want.PerRank[r])
+		}
+	}
+	if got.Forwards != 0 {
+		t.Fatalf("replicated engine reported %d forwards", got.Forwards)
+	}
+	conserved(t, got)
+}
+
+func TestGeoRunRankMatchesGeoRun(t *testing.T) {
+	sc, err := scenes.Quickstart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const photons = 20000
+	want, err := GeoRun(sc, DefaultGeoConfig(photons, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runRanks(t, 3, func(c *mpi.Comm) (*Result, error) {
+		return GeoRunRank(c, sc, DefaultGeoConfig(photons, 3), RankOptions{})
+	})
+	if g, w := got.Forest.Fingerprint(), want.Forest.Fingerprint(); g != w {
+		t.Fatalf("fingerprint %x, in-process GeoRun gives %x", g, w)
+	}
+	if got.Stats != want.Stats {
+		t.Fatalf("stats %+v, in-process GeoRun gives %+v", got.Stats, want.Stats)
+	}
+	if got.Forwards != want.Forwards {
+		t.Fatalf("forwards %d, in-process GeoRun gives %d", got.Forwards, want.Forwards)
+	}
+}
+
+func TestGeoRunRankRejectsCheckpointing(t *testing.T) {
+	sc, err := scenes.Quickstart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = mpi.Run(1, func(c *mpi.Comm) error {
+		_, err := GeoRunRank(c, sc, DefaultGeoConfig(1000, 1), RankOptions{CheckpointEvery: 1})
+		if err == nil {
+			return fmt.Errorf("geo accepted checkpointing")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointResumeBitIdentical runs with per-round checkpointing,
+// takes a mid-run Checkpoint (round-tripped through its file encoding),
+// resumes a fresh world from it, and requires the resumed run's answer to
+// be bit-identical to the uninterrupted one — the property the
+// kill-a-worker recovery path rests on.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	sc, err := scenes.Quickstart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const photons = 20000
+	const ranks = 3
+	mkCfg := func() Config {
+		cfg := DefaultConfig(photons, ranks)
+		cfg.BatchSize = 1000 // several rounds, so a mid-run checkpoint exists
+		return cfg
+	}
+
+	var mu sync.Mutex
+	var saved *Checkpoint
+	path := filepath.Join(t.TempDir(), "ckpt.gob")
+	full := runRanks(t, ranks, func(c *mpi.Comm) (*Result, error) {
+		return RunRank(c, sc, mkCfg(), RankOptions{
+			CheckpointEvery: 1,
+			CheckpointSink: func(ck *Checkpoint) error {
+				mu.Lock()
+				defer mu.Unlock()
+				if saved == nil && ck.Round >= 1 {
+					if err := SaveCheckpoint(path, ck); err != nil {
+						return err
+					}
+					ck2, err := LoadCheckpoint(path)
+					if err != nil {
+						return err
+					}
+					saved = ck2
+				}
+				return nil
+			},
+		})
+	})
+	if saved == nil {
+		t.Fatal("no checkpoint captured; lower BatchSize")
+	}
+	t.Logf("resuming from round %d of a %d-round run", saved.Round, full.PerRank[0].Batches)
+
+	resumed := runRanks(t, ranks, func(c *mpi.Comm) (*Result, error) {
+		return RunRank(c, sc, mkCfg(), RankOptions{Resume: saved})
+	})
+	if g, w := resumed.Forest.Fingerprint(), full.Forest.Fingerprint(); g != w {
+		t.Fatalf("resumed fingerprint %x, uninterrupted run gives %x", g, w)
+	}
+	if resumed.Stats != full.Stats {
+		t.Fatalf("resumed stats %+v, uninterrupted run gives %+v", resumed.Stats, full.Stats)
+	}
+	for r := range full.PerRank {
+		if resumed.PerRank[r] != full.PerRank[r] {
+			t.Fatalf("rank %d resumed stats %+v, uninterrupted gives %+v", r, resumed.PerRank[r], full.PerRank[r])
+		}
+	}
+}
+
+func TestCheckpointRejectsWrongWorld(t *testing.T) {
+	ck := &Checkpoint{Version: CheckpointVersion, Ranks: 4, Round: 2,
+		Snaps: []RankSnapshot{{Rank: 0}}}
+	if _, err := ck.forRank(0, 3); err == nil {
+		t.Fatal("accepted a 4-rank checkpoint in a 3-rank world")
+	}
+	ck.Ranks = 3
+	if _, err := ck.forRank(2, 3); err == nil {
+		t.Fatal("accepted a checkpoint missing this rank's snapshot")
+	}
+	ck.Version = CheckpointVersion + 1
+	if _, err := ck.forRank(0, 3); err == nil {
+		t.Fatal("accepted a checkpoint from a different version")
+	}
+}

@@ -28,11 +28,21 @@ import (
 	"repro/internal/scenes"
 )
 
-// Run executes the replicated-geometry distributed simulation.
-func Run(scene *scenes.Scene, cfg Config) (*Result, error) {
-	if err := cfg.normalize(); err != nil {
-		return nil, err
-	}
+// repPlan is the deterministic pre-run state every rank of the replicated
+// engine derives identically — simulator, ownership assignment, and round
+// count. In-process ranks share one instance; multi-process ranks each
+// compute their own redundantly (the paper's redundant pre-phase), which
+// is what lets a worker join a job knowing only the scene spec and config.
+type repPlan struct {
+	sim    *core.Simulator
+	binCfg bintree.Config
+	asn    *loadbalance.Assignment
+	rounds int
+}
+
+// planReplicated normalizes cfg and computes the replicated engine's
+// deterministic plan. cfg must already be normalized.
+func planReplicated(scene *scenes.Scene, cfg Config) (*repPlan, error) {
 	sim, err := core.NewSimulator(scene, cfg.Core)
 	if err != nil {
 		return nil, err
@@ -64,6 +74,19 @@ func Run(scene *scenes.Scene, cfg Config) (*Result, error) {
 	if rounds == 0 {
 		rounds = 1
 	}
+	return &repPlan{sim: sim, binCfg: binCfg, asn: asn, rounds: rounds}, nil
+}
+
+// Run executes the replicated-geometry distributed simulation.
+func Run(scene *scenes.Scene, cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	plan, err := planReplicated(scene, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sim, binCfg, asn, rounds := plan.sim, plan.binCfg, plan.asn, plan.rounds
 
 	perRank := make([]RankStats, cfg.Ranks)
 	statsPerRank := make([]core.Stats, cfg.Ranks)
@@ -71,7 +94,7 @@ func Run(scene *scenes.Scene, cfg Config) (*Result, error) {
 
 	world, err := mpi.Run(cfg.Ranks, func(c *mpi.Comm) error {
 		me := c.Rank()
-		forest, rs, st, err := runRank(c, sim, cfg, asn.Owner, rounds, binCfg)
+		forest, rs, st, err := runRank(c, sim, cfg, asn.Owner, rounds, binCfg, rankHooks{})
 		if err != nil {
 			return err
 		}
@@ -120,11 +143,33 @@ func prePhaseWeights(sim *core.Simulator, nPatches int, cfg Config, binCfg bintr
 	return scratch.PhotonCounts()
 }
 
+// rankHooks carries the multi-process driver's fault-tolerance plumbing
+// into the round loop. The zero value — no checkpointing, no resume — is
+// the in-process engine's configuration; checkpointEvery must agree on
+// every rank because the snapshot gather is a collective.
+type rankHooks struct {
+	// checkpointEvery gathers a full-state snapshot to rank 0 every this
+	// many completed rounds; 0 disables checkpointing.
+	checkpointEvery int
+	// sink receives each assembled Checkpoint on rank 0. A sink error
+	// aborts the run: a checkpoint that cannot be persisted is not a
+	// checkpoint.
+	sink func(*Checkpoint) error
+	// resume restarts the round loop after the checkpoint's Round, with
+	// every rank's forest and counters restored. All ranks must resume
+	// from the same Checkpoint.
+	resume *Checkpoint
+	// afterRound, when non-nil, runs after each completed round (and its
+	// checkpoint). It exists for fault-injection: a worker under test
+	// kills itself here, mid-job, at a deterministic round boundary.
+	afterRound func(round int)
+}
+
 // runRank is one rank's whole life: trace its cyclic share of the global
 // photon chunks round by round, exchange tallies after every round and
 // apply them in rank (= photon) order, then take part in the final gather.
-func runRank(c *mpi.Comm, sim *core.Simulator, cfg Config, owners []int,
-	rounds int, binCfg bintree.Config,
+func runRank(c mpi.Communicator, sim *core.Simulator, cfg Config, owners []int,
+	rounds int, binCfg bintree.Config, hooks rankHooks,
 ) (*bintree.Forest, RankStats, core.Stats, error) {
 	me := c.Rank()
 	size := c.Size()
@@ -136,6 +181,29 @@ func runRank(c *mpi.Comm, sim *core.Simulator, cfg Config, owners []int,
 	rs := RankStats{Rank: me}
 	var st core.Stats
 	var splits int64
+
+	// Resume: restore this rank's owned trees and counters exactly as
+	// they stood after the checkpointed round, then continue with the
+	// next one. Photon trajectories are pure functions of (seed, index),
+	// so the rounds replayed after restore reproduce the original run's
+	// remaining work bit-for-bit.
+	startRound := 0
+	if hooks.resume != nil {
+		snap, err := hooks.resume.forRank(me, size)
+		if err != nil {
+			return nil, rs, st, err
+		}
+		// Clone on the way in as well: the engine mutates these trees, and
+		// the Checkpoint must stay pristine for a later retry (a second
+		// failure before the next snapshot resumes from it again).
+		for _, s := range snap.Sections {
+			forest.ReplaceTree(s.Unit, s.Tree.Clone())
+		}
+		rs = snap.RankStats
+		st = snap.Stats
+		splits, st.BinSplits = st.BinSplits, 0
+		startRound = hooks.resume.Round + 1
+	}
 
 	// Round-phase spans are recorded by rank 0 only: the rounds are
 	// bulk-synchronous, so rank 0's trace/exchange/apply timings are
@@ -158,7 +226,7 @@ func runRank(c *mpi.Comm, sim *core.Simulator, cfg Config, owners []int,
 		rs.TalliesApplied++
 	}
 
-	for round := 0; round < rounds; round++ {
+	for round := startRound; round < rounds; round++ {
 		// This round's chunk for this rank: global chunk round*size+me.
 		chunk := int64(round)*int64(size) + int64(me)
 		lo := chunk * batch
@@ -212,6 +280,19 @@ func runRank(c *mpi.Comm, sim *core.Simulator, cfg Config, owners []int,
 
 		if me == 0 && cfg.Progress != nil {
 			cfg.Progress(min(photons, int64(round+1)*int64(size)*batch), photons)
+		}
+
+		// Per-round checkpoint: every rank ships its owned trees and
+		// counters to rank 0, which persists the assembled snapshot. The
+		// gather is a collective — checkpointEvery is part of the wire
+		// contract and must agree across ranks.
+		if hooks.checkpointEvery > 0 && (round+1)%hooks.checkpointEvery == 0 && round != rounds-1 {
+			if err := checkpointRound(c, round, forest, owners, rs, st, splits, hooks.sink); err != nil {
+				return nil, rs, st, err
+			}
+		}
+		if hooks.afterRound != nil {
+			hooks.afterRound(round)
 		}
 	}
 	st.BinSplits = splits

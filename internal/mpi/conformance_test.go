@@ -1,0 +1,303 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Transport conformance suite: every semantic test below runs against both
+// transports — the in-process World and the TCP mesh — through the one
+// Communicator interface, so the two can never drift apart on delivery
+// order, wildcard matching, barrier behavior, close semantics, or traffic
+// accounting. The distributed engines assume these semantics; this suite
+// is what makes "runs in-process" equal "runs across processes".
+
+// commWorld is one spun-up world of either transport plus its teardown.
+type commWorld struct {
+	comms []Communicator
+	close func()
+}
+
+// transports enumerates the conformance subjects.
+func transports(t *testing.T) map[string]func(size int) commWorld {
+	t.Helper()
+	return map[string]func(size int) commWorld{
+		"world": func(size int) commWorld {
+			w, err := NewWorld(size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs := make([]Communicator, size)
+			for r := range cs {
+				cs[r] = w.Comm(r)
+			}
+			return commWorld{comms: cs, close: w.Close}
+		},
+		"tcp": func(size int) commWorld {
+			tc := tcpWorld(t, size)
+			cs := make([]Communicator, size)
+			for r := range cs {
+				cs[r] = tc[r]
+			}
+			return commWorld{comms: cs, close: func() {
+				for _, c := range tc {
+					c.Close()
+				}
+			}}
+		},
+	}
+}
+
+// eachTransport runs fn once per transport as a subtest.
+func eachTransport(t *testing.T, size int, fn func(t *testing.T, w commWorld)) {
+	for name, mk := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			w := mk(size)
+			defer w.close()
+			fn(t, w)
+		})
+	}
+}
+
+func TestConformanceFIFOPerPair(t *testing.T) {
+	// Two senders interleave into one receiver on two tags; per
+	// (sender, tag) order must survive, across pairs order is free.
+	eachTransport(t, 3, func(t *testing.T, w commWorld) {
+		const k = 200
+		var wg sync.WaitGroup
+		for _, src := range []int{1, 2} {
+			wg.Add(1)
+			go func(src int) {
+				defer wg.Done()
+				for i := 0; i < k; i++ {
+					if err := w.comms[src].Send(0, 5, src*10000+i); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(src)
+		}
+		next := map[int]int{1: 0, 2: 0}
+		for i := 0; i < 2*k; i++ {
+			p, src, ok := w.comms[0].Recv(AnySource, 5)
+			if !ok {
+				t.Fatal("recv failed")
+			}
+			if want := src*10000 + next[src]; p.(int) != want {
+				t.Fatalf("from %d got %v, want %d", src, p, want)
+			}
+			next[src]++
+		}
+		wg.Wait()
+	})
+}
+
+func TestConformanceAnySourceAnyTag(t *testing.T) {
+	eachTransport(t, 4, func(t *testing.T, w commWorld) {
+		for src := 1; src < 4; src++ {
+			if err := w.comms[src].Send(0, src, src); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Tag-selective receive out of arrival order, then wildcards.
+		p, src, ok := w.comms[0].Recv(AnySource, 3)
+		if !ok || src != 3 || p.(int) != 3 {
+			t.Fatalf("tag-3 recv: %v from %d", p, src)
+		}
+		seen := map[int]bool{}
+		for i := 0; i < 2; i++ {
+			p, src, ok := w.comms[0].Recv(AnySource, AnyTag)
+			if !ok || p.(int) != src {
+				t.Fatalf("wildcard recv: %v from %d", p, src)
+			}
+			seen[src] = true
+		}
+		if !seen[1] || !seen[2] {
+			t.Fatalf("missing sources: %v", seen)
+		}
+	})
+}
+
+func TestConformanceSelfSend(t *testing.T) {
+	eachTransport(t, 2, func(t *testing.T, w commWorld) {
+		if err := w.comms[1].Send(1, 9, 42); err != nil {
+			t.Fatal(err)
+		}
+		p, src, ok := w.comms[1].Recv(1, 9)
+		if !ok || src != 1 || p.(int) != 42 {
+			t.Fatalf("self-send: %v from %d ok=%v", p, src, ok)
+		}
+	})
+}
+
+func TestConformanceBarrierUnderSendLoad(t *testing.T) {
+	// Barriers must stay aligned while unrelated point-to-point traffic
+	// is in flight: tag separation, not quiescence, is the contract.
+	eachTransport(t, 4, func(t *testing.T, w commWorld) {
+		const rounds = 20
+		var phase int64
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for r := 0; r < 4; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				c := w.comms[rank]
+				for round := 0; round < rounds; round++ {
+					// Concurrent load: a ring message per round.
+					if err := c.Send((rank+1)%4, 77, round); err != nil {
+						t.Error(err)
+						return
+					}
+					if err := c.Barrier(); err != nil {
+						t.Error(err)
+						return
+					}
+					mu.Lock()
+					phase++
+					mu.Unlock()
+					if err := c.Barrier(); err != nil {
+						t.Error(err)
+						return
+					}
+					mu.Lock()
+					p := phase
+					mu.Unlock()
+					if int(p) != (round+1)*4 {
+						t.Errorf("rank %d round %d: phase %d", rank, round, p)
+						return
+					}
+					if p, _, ok := c.Recv((rank+3)%4, 77); !ok || p.(int) != round {
+						t.Errorf("rank %d round %d: ring got %v", rank, round, p)
+						return
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+	})
+}
+
+func TestConformanceCloseUnblocksRecv(t *testing.T) {
+	eachTransport(t, 2, func(t *testing.T, w commWorld) {
+		unblocked := make(chan bool, 1)
+		go func() {
+			_, _, ok := w.comms[1].Recv(0, 1)
+			unblocked <- ok
+		}()
+		time.Sleep(20 * time.Millisecond) // let the Recv block
+		w.close()
+		select {
+		case ok := <-unblocked:
+			if ok {
+				t.Fatal("Recv returned ok=true after close")
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("Recv still blocked after close")
+		}
+		if err := w.comms[1].Err(); err == nil {
+			t.Fatal("Err() nil after close")
+		}
+	})
+}
+
+func TestConformanceTrafficAccounting(t *testing.T) {
+	// A fixed exchange must yield identical send rows and receive columns
+	// on both transports (each rank's own row/column — all a TCP rank can
+	// observe; the in-process world just sees everything at once).
+	eachTransport(t, 3, func(t *testing.T, w commWorld) {
+		// rank 0 -> 1 twice, 1 -> 2 once, 2 -> 2 (self) once.
+		for _, s := range []struct{ from, to int }{{0, 1}, {0, 1}, {1, 2}, {2, 2}} {
+			if err := w.comms[s.from].Send(s.to, 4, int64(7)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, r := range []struct{ rank, n int }{{1, 2}, {2, 2}} {
+			for i := 0; i < r.n; i++ {
+				if _, _, ok := w.comms[r.rank].Recv(AnySource, 4); !ok {
+					t.Fatal("recv failed")
+				}
+			}
+		}
+		wantRows := [][]int64{{0, 2, 0}, {0, 0, 1}, {0, 0, 1}}
+		for rank, want := range wantRows {
+			tr := w.comms[rank].TrafficStats()
+			msgs, _ := tr.SentByRank()
+			if msgs[rank] != want[0]+want[1]+want[2] {
+				t.Errorf("rank %d sent %d msgs, want %d", rank, msgs[rank], want[0]+want[1]+want[2])
+			}
+			for to, n := range want {
+				if tr.PerPair[rank][to] != n {
+					t.Errorf("rank %d PerPair[%d][%d] = %d, want %d", rank, rank, to, tr.PerPair[rank][to], n)
+				}
+			}
+		}
+		// Receive columns, from each receiver's own snapshot.
+		wantCols := map[int][]int64{1: {2, 0, 0}, 2: {0, 1, 1}}
+		for rank, want := range wantCols {
+			tr := w.comms[rank].TrafficStats()
+			for from, n := range want {
+				if tr.PerPair[from][rank] != n {
+					t.Errorf("rank %d PerPair[%d][%d] = %d, want %d", rank, from, rank, tr.PerPair[from][rank], n)
+				}
+			}
+			_, recvd := tr.RecvByRank()
+			if recvd[rank] <= 0 {
+				t.Errorf("rank %d recv bytes = %d", rank, recvd[rank])
+			}
+		}
+	})
+}
+
+func TestConformanceCollectives(t *testing.T) {
+	// AllToAll and AllReduceSum over the interface, both transports.
+	eachTransport(t, 3, func(t *testing.T, w commWorld) {
+		RegisterAllToAllPayload[int64]()
+		results := make([][][]int64, 3)
+		sums := make([]float64, 3)
+		var wg sync.WaitGroup
+		for r := 0; r < 3; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				c := w.comms[rank]
+				out := make([][]int64, 3)
+				for to := range out {
+					out[to] = []int64{int64(rank*10 + to)}
+				}
+				in, err := AllToAll(c, 30, out)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[rank] = in
+				sum, err := AllReduceSum(c, 40, float64(rank+1))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				sums[rank] = sum
+			}(r)
+		}
+		wg.Wait()
+		for rank, in := range results {
+			for src, got := range in {
+				if want := int64(src*10 + rank); len(got) != 1 || got[0] != want {
+					t.Errorf("rank %d from %d: %v, want [%d]", rank, src, got, want)
+				}
+			}
+		}
+		for rank, s := range sums {
+			if s != 6 {
+				t.Errorf("rank %d AllReduceSum = %v, want 6", rank, s)
+			}
+		}
+	})
+}
+
+// ensure both concrete types satisfy the interface.
+var (
+	_ Communicator = (*Comm)(nil)
+	_ Communicator = (*TCPComm)(nil)
+)

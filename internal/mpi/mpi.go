@@ -11,6 +11,8 @@
 package mpi
 
 import (
+	"encoding/gob"
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -20,6 +22,45 @@ const AnySource = -1
 
 // AnyTag matches any message tag in Recv.
 const AnyTag = -1
+
+// ErrClosed is the cause a communicator reports after an orderly Close;
+// a transport failure replaces it with the first real error observed.
+var ErrClosed = errors.New("mpi: communicator closed")
+
+// Communicator is one rank's handle on a message-passing world. Both
+// transports satisfy it — *Comm (goroutine ranks in one process) and
+// *TCPComm (one rank per OS process, full TCP mesh) — and the distributed
+// engines are written against it, so the same engine body runs in-process
+// or across machines. The collectives (AllToAll, AllReduceSum) are generic
+// free functions over the interface, since Go interfaces cannot carry
+// generic methods.
+//
+// Semantics both transports must honor (pinned by the transport
+// conformance suite): per-(sender,tag) FIFO delivery, AnySource/AnyTag
+// wildcard receives, self-sends delivered through the same mailbox, and
+// Recv returning ok=false — with Err reporting the cause — once the
+// communicator is closed or the transport fails.
+type Communicator interface {
+	// Rank returns this communicator's rank in [0, Size).
+	Rank() int
+	// Size returns the world size.
+	Size() int
+	// Send transmits payload to rank `to` with the given tag. Sends are
+	// buffered and do not block on the receiver.
+	Send(to, tag int, payload any) error
+	// Recv blocks until a message matching (from, tag) arrives; ok is
+	// false only if the communicator closed or failed while waiting.
+	Recv(from, tag int) (payload any, source int, ok bool)
+	// Barrier blocks until every rank has entered it.
+	Barrier() error
+	// Err reports why the communicator stopped: nil while healthy,
+	// ErrClosed after an orderly Close, or the first transport error.
+	Err() error
+	// TrafficStats snapshots the communication this rank can observe:
+	// the full pair matrix for the in-process world, this rank's own row
+	// (sends) and column (receives) for the TCP mesh.
+	TrafficStats() Traffic
+}
 
 // Sized lets a payload report its approximate wire size for the traffic
 // statistics; payloads that do not implement it count as 64 bytes.
@@ -132,6 +173,9 @@ type World struct {
 	bytes        int64
 	perPair      [][]int64
 	perPairBytes [][]int64
+
+	closeMu sync.Mutex
+	closed  bool
 }
 
 // NewWorld creates a communicator world with the given number of ranks.
@@ -179,6 +223,9 @@ func (w *World) TrafficStats() Traffic {
 
 // Close shuts every mailbox down, releasing blocked receivers with ok=false.
 func (w *World) Close() {
+	w.closeMu.Lock()
+	w.closed = true
+	w.closeMu.Unlock()
 	for _, m := range w.mailboxes {
 		m.close()
 	}
@@ -206,9 +253,9 @@ func (c *Comm) Size() int { return c.world.size }
 // Send delivers payload to rank `to` with the given tag. Sends never block
 // (buffered, like MPI_Isend with guaranteed buffering — the paper notes the
 // SP-2 enforces exactly this).
-func (c *Comm) Send(to, tag int, payload any) {
+func (c *Comm) Send(to, tag int, payload any) error {
 	if to < 0 || to >= c.world.size {
-		panic(fmt.Sprintf("mpi: send to invalid rank %d", to))
+		return fmt.Errorf("mpi: send to invalid rank %d", to)
 	}
 	b := payloadBytes(payload)
 	c.world.mailboxes[to].put(envelope{from: c.rank, tag: tag, payload: payload, bytes: b})
@@ -218,7 +265,23 @@ func (c *Comm) Send(to, tag int, payload any) {
 	c.world.perPair[c.rank][to]++
 	c.world.perPairBytes[c.rank][to] += int64(b)
 	c.world.statsMu.Unlock()
+	return nil
 }
+
+// Err reports nil while the world is open and ErrClosed after Close; the
+// in-process transport has no other failure mode.
+func (c *Comm) Err() error {
+	c.world.closeMu.Lock()
+	defer c.world.closeMu.Unlock()
+	if c.world.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// TrafficStats returns the whole world's traffic snapshot: in-process
+// ranks share one accounting ledger.
+func (c *Comm) TrafficStats() Traffic { return c.world.TrafficStats() }
 
 // Recv blocks until a message matching (from, tag) arrives and returns its
 // payload and source. Use AnySource/AnyTag as wildcards. ok is false only
@@ -232,7 +295,7 @@ func (c *Comm) Recv(from, tag int) (payload any, source int, ok bool) {
 }
 
 // Barrier blocks until every rank has entered it.
-func (c *Comm) Barrier() {
+func (c *Comm) Barrier() error {
 	w := c.world
 	w.barrierMu.Lock()
 	gen := w.barrierGen
@@ -242,12 +305,13 @@ func (c *Comm) Barrier() {
 		w.barrierGen++
 		w.barrierMu.Unlock()
 		w.barrierCond.Broadcast()
-		return
+		return nil
 	}
 	for gen == w.barrierGen {
 		w.barrierCond.Wait()
 	}
 	w.barrierMu.Unlock()
+	return nil
 }
 
 // AllToAll sends out[i] to rank i and returns in[i] = the slice received
@@ -259,38 +323,58 @@ func (c *Comm) Barrier() {
 // next-round message is already queued, each round still consumes exactly
 // one message per peer in order. An AnySource loop could swallow two rounds
 // of one peer and none of another.
-func AllToAll[T any](c *Comm, tag int, out [][]T) ([][]T, error) {
+func AllToAll[T any](c Communicator, tag int, out [][]T) ([][]T, error) {
+	me := c.Rank()
 	if len(out) != c.Size() {
 		return nil, fmt.Errorf("mpi: AllToAll needs %d slices, got %d", c.Size(), len(out))
 	}
 	for to := 0; to < c.Size(); to++ {
-		if to == c.rank {
+		if to == me {
 			continue
 		}
-		c.Send(to, tag, sizedSlice[T]{data: out[to]})
+		if err := c.Send(to, tag, sizedSlice[T]{Data: out[to]}); err != nil {
+			return nil, err
+		}
 	}
 	in := make([][]T, c.Size())
-	in[c.rank] = out[c.rank]
+	in[me] = out[me]
 	for src := 0; src < c.Size(); src++ {
-		if src == c.rank {
+		if src == me {
 			continue
 		}
 		p, _, ok := c.Recv(src, tag)
 		if !ok {
-			return nil, fmt.Errorf("mpi: world closed during AllToAll")
+			return nil, closedErr(c, "AllToAll")
 		}
-		in[src] = p.(sizedSlice[T]).data
+		in[src] = p.(sizedSlice[T]).Data
 	}
 	return in, nil
 }
 
+// closedErr builds the error for a collective interrupted by communicator
+// shutdown, naming the underlying transport cause when one is recorded.
+func closedErr(c Communicator, during string) error {
+	if err := c.Err(); err != nil {
+		return fmt.Errorf("mpi: world closed during %s: %w", during, err)
+	}
+	return fmt.Errorf("mpi: world closed during %s", during)
+}
+
+// RegisterAllToAllPayload registers the gob wire type AllToAll uses for
+// element type T. Every concrete T exchanged through AllToAll over a
+// TCPComm must be registered once, by both sides, before the mesh runs.
+func RegisterAllToAllPayload[T any]() {
+	gob.Register(sizedSlice[T]{})
+}
+
 // sizedSlice lets AllToAll report realistic byte counts for traffic stats.
-type sizedSlice[T any] struct{ data []T }
+// The element slice is exported so the wrapper survives gob transport.
+type sizedSlice[T any] struct{ Data []T }
 
 // ByteSize estimates the wire size of the slice payload.
 func (s sizedSlice[T]) ByteSize() int {
 	var t T
-	return len(s.data)*approxSize(t) + 16
+	return len(s.Data)*approxSize(t) + 16
 }
 
 func approxSize(v any) int {
@@ -310,25 +394,29 @@ func approxSize(v any) int {
 
 // AllReduceSum sums one float64 across all ranks and returns the total to
 // every rank (gather to rank 0, then broadcast).
-func AllReduceSum(c *Comm, tag int, v float64) (float64, error) {
-	if c.rank == 0 {
+func AllReduceSum(c Communicator, tag int, v float64) (float64, error) {
+	if c.Rank() == 0 {
 		sum := v
 		for i := 1; i < c.Size(); i++ {
 			p, _, ok := c.Recv(AnySource, tag)
 			if !ok {
-				return 0, fmt.Errorf("mpi: world closed during AllReduce")
+				return 0, closedErr(c, "AllReduce")
 			}
 			sum += p.(float64)
 		}
 		for i := 1; i < c.Size(); i++ {
-			c.Send(i, tag+1, sum)
+			if err := c.Send(i, tag+1, sum); err != nil {
+				return 0, err
+			}
 		}
 		return sum, nil
 	}
-	c.Send(0, tag, v)
+	if err := c.Send(0, tag, v); err != nil {
+		return 0, err
+	}
 	p, _, ok := c.Recv(0, tag+1)
 	if !ok {
-		return 0, fmt.Errorf("mpi: world closed during AllReduce")
+		return 0, closedErr(c, "AllReduce")
 	}
 	return p.(float64), nil
 }

@@ -308,7 +308,7 @@ func sum(xs []int64) (s int64) {
 }
 
 func TestSizedSliceBytes(t *testing.T) {
-	s := sizedSlice[float64]{data: make([]float64, 10)}
+	s := sizedSlice[float64]{Data: make([]float64, 10)}
 	if s.ByteSize() != 96 {
 		t.Fatalf("ByteSize = %d, want 96", s.ByteSize())
 	}

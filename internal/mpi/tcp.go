@@ -5,13 +5,15 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // TCPComm is a communicator whose ranks live in separate processes (or
 // separate machines), connected by a full TCP mesh — the transport a real
 // cluster deployment of the distributed engine swaps in for the in-process
 // channel world. Payloads are gob-encoded; the mailbox semantics (tags,
-// any-source receives, per-pair FIFO) match Comm's.
+// any-source receives, per-pair FIFO) match Comm's, pinned by the shared
+// transport conformance suite.
 //
 // Topology: rank i listens on addrs[i]; every rank dials every higher rank,
 // so each pair shares exactly one connection.
@@ -19,12 +21,24 @@ type TCPComm struct {
 	rank, size int
 	conns      []net.Conn // conns[r] = connection to rank r (nil for self)
 	encs       []*gob.Encoder
+	decs       []*gob.Decoder
 	encMu      []sync.Mutex
 	box        *mailbox
 
-	statsMu  sync.Mutex
-	messages int64
-	bytes    int64
+	// statsMu guards the traffic ledger: this rank's outgoing row and
+	// incoming column of the world's pair matrix. A TCP rank can only
+	// observe its own endpoints; TrafficStats assembles them into the
+	// sparse matrix SentByRank/RecvByRank expect.
+	statsMu   sync.Mutex
+	messages  int64
+	bytes     int64
+	sentTo    []int64
+	sentBytes []int64
+	recvFrom  []int64
+	recvBytes []int64
+
+	errMu    sync.Mutex
+	firstErr error
 }
 
 type tcpEnvelope struct {
@@ -37,30 +51,60 @@ type tcpEnvelope struct {
 // work automatically).
 func RegisterTCPPayload(v any) { gob.Register(v) }
 
+// DialTimeout bounds how long NewTCPComm keeps redialing a peer that is
+// not listening yet. Package-level so launchers with slow-starting worker
+// fleets can widen it.
+var DialTimeout = 15 * time.Second
+
 // NewTCPComm creates rank `rank` of a size-len(addrs) world. It blocks
 // until the full mesh is connected. All ranks must call it concurrently
 // with the same address list.
 func NewTCPComm(rank int, addrs []string) (*TCPComm, error) {
-	size := len(addrs)
-	if rank < 0 || rank >= size {
-		return nil, fmt.Errorf("mpi: rank %d out of range [0,%d)", rank, size)
+	if rank < 0 || rank >= len(addrs) {
+		return nil, fmt.Errorf("mpi: rank %d out of range [0,%d)", rank, len(addrs))
 	}
-	c := &TCPComm{
-		rank: rank, size: size,
-		conns: make([]net.Conn, size),
-		encs:  make([]*gob.Encoder, size),
-		encMu: make([]sync.Mutex, size),
-		box:   newMailbox(),
-	}
-
 	ln, err := net.Listen("tcp", addrs[rank])
 	if err != nil {
 		return nil, fmt.Errorf("mpi: rank %d listen: %w", rank, err)
 	}
+	return NewTCPCommWithListener(rank, addrs, ln)
+}
+
+// NewTCPCommWithListener is NewTCPComm on a caller-provided listener for
+// rank's own address — the coordinator/worker join flow listens first (to
+// learn its ephemeral port and advertise it) and builds the mesh later.
+// The listener is closed once the mesh is connected.
+func NewTCPCommWithListener(rank int, addrs []string, ln net.Listener) (*TCPComm, error) {
+	size := len(addrs)
+	if rank < 0 || rank >= size {
+		ln.Close()
+		return nil, fmt.Errorf("mpi: rank %d out of range [0,%d)", rank, size)
+	}
+	c := &TCPComm{
+		rank: rank, size: size,
+		conns:     make([]net.Conn, size),
+		encs:      make([]*gob.Encoder, size),
+		decs:      make([]*gob.Decoder, size),
+		encMu:     make([]sync.Mutex, size),
+		box:       newMailbox(),
+		sentTo:    make([]int64, size),
+		sentBytes: make([]int64, size),
+		recvFrom:  make([]int64, size),
+		recvBytes: make([]int64, size),
+	}
 	defer ln.Close()
 
 	// Accept connections from all lower ranks; dial all higher ranks.
-	// Handshake: the dialer sends its rank first.
+	// Handshake: the dialer sends its rank first. The decoded rank is
+	// validated before use — only lower ranks dial us, each exactly once —
+	// so a garbage or duplicate handshake fails the mesh instead of
+	// panicking or silently replacing a live connection.
+	//
+	// One decoder (and one encoder) per connection, established at
+	// handshake time and reused for every envelope after it: gob decoders
+	// buffer their reader, so a throwaway handshake decoder could read
+	// ahead into the first envelope's bytes and a second decoder would
+	// then start mid-stream, corrupting the whole link.
 	var wg sync.WaitGroup
 	errCh := make(chan error, size)
 	wg.Add(1)
@@ -72,23 +116,38 @@ func NewTCPComm(rank int, addrs []string) (*TCPComm, error) {
 				errCh <- err
 				return
 			}
+			dec := gob.NewDecoder(conn)
 			var peer int
-			if err := gob.NewDecoder(conn).Decode(&peer); err != nil {
-				errCh <- err
+			if err := dec.Decode(&peer); err != nil {
+				conn.Close()
+				errCh <- fmt.Errorf("mpi: rank %d handshake decode: %w", rank, err)
+				return
+			}
+			if peer < 0 || peer >= rank {
+				conn.Close()
+				errCh <- fmt.Errorf("mpi: rank %d rejecting handshake from out-of-range rank %d (dialers must be in [0,%d))", rank, peer, rank)
+				return
+			}
+			if c.conns[peer] != nil {
+				conn.Close()
+				errCh <- fmt.Errorf("mpi: rank %d rejecting duplicate handshake from rank %d", rank, peer)
 				return
 			}
 			c.conns[peer] = conn
+			c.decs[peer] = dec
 		}
 	}()
 	for peer := rank + 1; peer < size; peer++ {
-		conn, err := dialRetry(addrs[peer])
+		conn, err := dialRetry(addrs[peer], DialTimeout)
 		if err != nil {
 			return nil, fmt.Errorf("mpi: rank %d dial %d: %w", rank, peer, err)
 		}
-		if err := gob.NewEncoder(conn).Encode(rank); err != nil {
+		enc := gob.NewEncoder(conn)
+		if err := enc.Encode(rank); err != nil {
 			return nil, err
 		}
 		c.conns[peer] = conn
+		c.encs[peer] = enc
 	}
 	wg.Wait()
 	select {
@@ -97,37 +156,79 @@ func NewTCPComm(rank int, addrs []string) (*TCPComm, error) {
 	default:
 	}
 
-	// Reader goroutine per peer feeds the shared mailbox.
+	// Reader goroutine per peer feeds the shared mailbox. A read failure
+	// records the first cause and closes the mailbox, releasing every
+	// blocked Recv; Err() then reports why.
 	for peer, conn := range c.conns {
 		if conn == nil {
 			continue
 		}
-		c.encs[peer] = gob.NewEncoder(conn)
-		go func(conn net.Conn) {
-			dec := gob.NewDecoder(conn)
+		if c.encs[peer] == nil {
+			c.encs[peer] = gob.NewEncoder(conn)
+		}
+		if c.decs[peer] == nil {
+			c.decs[peer] = gob.NewDecoder(conn)
+		}
+		go func(peer int, dec *gob.Decoder) {
 			for {
 				var e tcpEnvelope
 				if err := dec.Decode(&e); err != nil {
-					c.box.close()
+					c.fail(fmt.Errorf("mpi: rank %d reading from rank %d: %w", c.rank, peer, err))
 					return
 				}
-				c.box.put(envelope{from: e.From, tag: e.Tag, payload: e.Payload, bytes: payloadBytes(e.Payload)})
+				b := payloadBytes(e.Payload)
+				c.statsMu.Lock()
+				c.recvFrom[e.From]++
+				c.recvBytes[e.From] += int64(b)
+				c.statsMu.Unlock()
+				c.box.put(envelope{from: e.From, tag: e.Tag, payload: e.Payload, bytes: b})
 			}
-		}(conn)
+		}(peer, c.decs[peer])
 	}
 	return c, nil
 }
 
-func dialRetry(addr string) (net.Conn, error) {
+// dialRetry dials addr with exponential backoff until it connects or the
+// overall deadline expires — a peer that has not started listening yet
+// costs sleeps, not a burned retry budget.
+func dialRetry(addr string, deadline time.Duration) (net.Conn, error) {
 	var lastErr error
-	for i := 0; i < 400; i++ {
-		conn, err := net.Dial("tcp", addr)
+	backoff := time.Millisecond
+	const maxBackoff = 250 * time.Millisecond
+	limit := time.Now().Add(deadline)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, deadline)
 		if err == nil {
 			return conn, nil
 		}
 		lastErr = err
+		if time.Now().Add(backoff).After(limit) {
+			return nil, fmt.Errorf("gave up after %v: %w", deadline, lastErr)
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
 	}
-	return nil, lastErr
+}
+
+// fail records the first cause of transport death and closes the mailbox,
+// releasing every blocked Recv with ok=false.
+func (c *TCPComm) fail(err error) {
+	c.errMu.Lock()
+	if c.firstErr == nil {
+		c.firstErr = err
+	}
+	c.errMu.Unlock()
+	c.box.close()
+}
+
+// Err reports why the communicator stopped: nil while healthy, ErrClosed
+// after an orderly Close, or the first transport error observed.
+func (c *TCPComm) Err() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.firstErr
 }
 
 // Rank returns this communicator's rank.
@@ -138,24 +239,34 @@ func (c *TCPComm) Size() int { return c.size }
 
 // Send transmits payload to rank `to` with the given tag.
 func (c *TCPComm) Send(to, tag int, payload any) error {
-	if to == c.rank {
-		c.box.put(envelope{from: c.rank, tag: tag, payload: payload, bytes: payloadBytes(payload)})
-		return nil
-	}
 	if to < 0 || to >= c.size {
 		return fmt.Errorf("mpi: send to invalid rank %d", to)
+	}
+	b := payloadBytes(payload)
+	if to == c.rank {
+		c.box.put(envelope{from: c.rank, tag: tag, payload: payload, bytes: b})
+		c.countSend(to, b)
+		return nil
 	}
 	c.encMu[to].Lock()
 	err := c.encs[to].Encode(tcpEnvelope{From: c.rank, Tag: tag, Payload: payload})
 	c.encMu[to].Unlock()
 	if err != nil {
+		err = fmt.Errorf("mpi: rank %d send to rank %d: %w", c.rank, to, err)
+		c.fail(err)
 		return err
 	}
+	c.countSend(to, b)
+	return nil
+}
+
+func (c *TCPComm) countSend(to, bytes int) {
 	c.statsMu.Lock()
 	c.messages++
-	c.bytes += int64(payloadBytes(payload))
+	c.bytes += int64(bytes)
+	c.sentTo[to]++
+	c.sentBytes[to] += int64(bytes)
 	c.statsMu.Unlock()
-	return nil
 }
 
 // Recv blocks until a message matching (from, tag) arrives.
@@ -174,7 +285,7 @@ func (c *TCPComm) Barrier() error {
 	if c.rank == 0 {
 		for i := 1; i < c.size; i++ {
 			if _, _, ok := c.Recv(AnySource, barrierTag); !ok {
-				return fmt.Errorf("mpi: barrier interrupted")
+				return closedErr(c, "Barrier")
 			}
 		}
 		for i := 1; i < c.size; i++ {
@@ -188,7 +299,7 @@ func (c *TCPComm) Barrier() error {
 		return err
 	}
 	if _, _, ok := c.Recv(0, barrierTag); !ok {
-		return fmt.Errorf("mpi: barrier interrupted")
+		return closedErr(c, "Barrier")
 	}
 	return nil
 }
@@ -200,8 +311,48 @@ func (c *TCPComm) Stats() (int64, int64) {
 	return c.messages, c.bytes
 }
 
+// TrafficStats assembles this rank's observable traffic into the world
+// pair matrix: row rank holds its sends, column rank its receives (the
+// diagonal self-send cell comes from the send ledger). Rows and columns
+// belonging to other ranks are zero — a multi-process driver gathers each
+// rank's row to build the full matrix.
+func (c *TCPComm) TrafficStats() Traffic {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	pp := make([][]int64, c.size)
+	ppb := make([][]int64, c.size)
+	for i := range pp {
+		pp[i] = make([]int64, c.size)
+		ppb[i] = make([]int64, c.size)
+	}
+	copy(pp[c.rank], c.sentTo)
+	copy(ppb[c.rank], c.sentBytes)
+	for from := 0; from < c.size; from++ {
+		if from == c.rank {
+			continue // diagonal already counted by the send ledger
+		}
+		pp[from][c.rank] = c.recvFrom[from]
+		ppb[from][c.rank] = c.recvBytes[from]
+	}
+	return Traffic{Messages: c.messages, Bytes: c.bytes, PerPair: pp, PerPairBytes: ppb}
+}
+
+// SentRow returns this rank's outgoing (messages, bytes) per destination —
+// the rank's row of the world pair matrix, which the multi-process driver
+// gathers to rank 0 to assemble full-run traffic.
+func (c *TCPComm) SentRow() (msgs, bytes []int64) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return append([]int64(nil), c.sentTo...), append([]int64(nil), c.sentBytes...)
+}
+
 // Close shuts the mesh down.
 func (c *TCPComm) Close() {
+	c.errMu.Lock()
+	if c.firstErr == nil {
+		c.firstErr = ErrClosed
+	}
+	c.errMu.Unlock()
 	for _, conn := range c.conns {
 		if conn != nil {
 			conn.Close()

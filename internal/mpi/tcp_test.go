@@ -1,10 +1,14 @@
 package mpi
 
 import (
+	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // freeAddrs reserves n loopback ports and returns their addresses.
@@ -205,6 +209,145 @@ func TestTCPStats(t *testing.T) {
 	msgs, bytes := comms[0].Stats()
 	if msgs != 1 || bytes <= 0 {
 		t.Fatalf("stats = %d msgs, %d bytes", msgs, bytes)
+	}
+}
+
+// TestDialRetryLateListener pins the backoff fix: a listener that starts
+// 300ms after the dial begins must still be reached — the old retry loop
+// burned its whole budget in microseconds of immediate redials.
+func TestDialRetryLateListener(t *testing.T) {
+	addr := freeAddrs(t, 1)[0]
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return // port raced away; dialRetry will time out and fail the test
+		}
+		conn, err := ln.Accept()
+		if err == nil {
+			conn.Close()
+		}
+		ln.Close()
+	}()
+	start := time.Now()
+	conn, err := dialRetry(addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("dialRetry: %v", err)
+	}
+	conn.Close()
+	if waited := time.Since(start); waited < 250*time.Millisecond {
+		t.Fatalf("connected after %v — listener was not late; test is vacuous", waited)
+	}
+}
+
+func TestDialRetryDeadline(t *testing.T) {
+	addr := freeAddrs(t, 1)[0] // nothing ever listens here
+	start := time.Now()
+	if _, err := dialRetry(addr, 200*time.Millisecond); err == nil {
+		t.Fatal("dialRetry succeeded with no listener")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("dialRetry overshot its deadline: %v", elapsed)
+	}
+}
+
+// meshAccept drives one rank's NewTCPComm in the background so a test can
+// hand-craft handshakes against its listener.
+func meshAccept(t *testing.T, rank int, addrs []string) chan error {
+	t.Helper()
+	errCh := make(chan error, 1)
+	go func() {
+		c, err := NewTCPComm(rank, addrs)
+		if c != nil {
+			c.Close()
+		}
+		errCh <- err
+	}()
+	return errCh
+}
+
+func TestTCPHandshakeRejectsOutOfRangeRank(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	errCh := meshAccept(t, 1, addrs) // rank 1 accepts exactly one dialer: rank 0
+	conn, err := dialRetry(addrs[1], 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := gob.NewEncoder(conn).Encode(7); err != nil { // garbage rank
+		t.Fatal(err)
+	}
+	if err := <-errCh; err == nil {
+		t.Fatal("out-of-range handshake rank accepted")
+	} else if !strings.Contains(err.Error(), "out-of-range") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestTCPHandshakeRejectsDuplicateRank(t *testing.T) {
+	addrs := freeAddrs(t, 3)
+	errCh := meshAccept(t, 2, addrs) // rank 2 accepts ranks 0 and 1
+	for i := 0; i < 2; i++ {
+		conn, err := dialRetry(addrs[2], 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if err := gob.NewEncoder(conn).Encode(0); err != nil { // rank 0, twice
+			t.Fatal(err)
+		}
+	}
+	if err := <-errCh; err == nil {
+		t.Fatal("duplicate handshake rank accepted")
+	} else if !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestTCPFailureCauseSurfaces pins the silent-collapse fix: when a peer
+// dies, blocked receives unblock with ok=false AND the cause is recorded —
+// Err() is non-nil and Barrier's error names it instead of a bare
+// "interrupted".
+func TestTCPFailureCauseSurfaces(t *testing.T) {
+	comms := tcpWorld(t, 3)
+	recvDone := make(chan bool, 1)
+	go func() {
+		_, _, ok := comms[0].Recv(1, 99)
+		recvDone <- ok
+	}()
+	time.Sleep(20 * time.Millisecond)
+	// Rank 2 "dies": its sockets close, rank 0's reader sees EOF.
+	comms[2].Close()
+	select {
+	case ok := <-recvDone:
+		if ok {
+			t.Fatal("Recv ok=true after peer death")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv still blocked after peer death")
+	}
+	err := comms[0].Err()
+	if err == nil {
+		t.Fatal("Err() nil after peer death")
+	}
+	if errors.Is(err, ErrClosed) {
+		t.Fatalf("peer death misreported as orderly close: %v", err)
+	}
+	if !strings.Contains(err.Error(), "reading from rank 2") {
+		t.Fatalf("cause does not name the dead peer: %v", err)
+	}
+	if berr := comms[0].Barrier(); berr == nil {
+		t.Fatal("Barrier succeeded on a dead mesh")
+	} else if !strings.Contains(berr.Error(), "reading from rank 2") {
+		t.Fatalf("Barrier error dropped the cause: %v", berr)
+	}
+}
+
+func TestTCPOrderlyCloseIsErrClosed(t *testing.T) {
+	comms := tcpWorld(t, 2)
+	comms[0].Close()
+	if err := comms[0].Err(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Err() = %v, want ErrClosed", err)
 	}
 }
 
