@@ -40,16 +40,8 @@ func main() {
 		log.Fatalf("%d samples, want at least %d", len(exp.Samples), *minSamples)
 	}
 	if *require != "" {
-		present := make(map[string]bool, len(exp.Samples))
-		for _, s := range exp.Samples {
-			present[s.Name] = true
-		}
-		for _, name := range splitComma(*require) {
-			// A histogram family exposes _bucket/_sum/_count samples, a
-			// counter or gauge its bare name; accept either spelling.
-			if !present[name] && !present[name+"_count"] {
-				log.Fatalf("required metric %q has no samples", name)
-			}
+		if err := exp.RequireFamilies(splitComma(*require)...); err != nil {
+			log.Fatal(err)
 		}
 	}
 	fmt.Printf("ok: %d samples, %d typed families\n", len(exp.Samples), len(exp.Types))

@@ -1,0 +1,28 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestNondeterm(t *testing.T) {
+	analysistest.Run(t, analysis.Nondeterm, "nondeterm")
+}
+
+func TestFloatReduce(t *testing.T) {
+	analysistest.Run(t, analysis.FloatReduce, "floatreduce")
+}
+
+func TestGobConn(t *testing.T) {
+	analysistest.Run(t, analysis.GobConn, "gobconn")
+}
+
+func TestObsGate(t *testing.T) {
+	analysistest.Run(t, analysis.ObsGate, "obsgate")
+}
+
+func TestLocked(t *testing.T) {
+	analysistest.Run(t, analysis.Locked, "locked", "lockedhelpers", "lockedimport")
+}

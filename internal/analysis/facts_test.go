@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestVetxRoundTrip pins the vetx fact file format: requires-lock symbols
+// written by one unit must come back identically when a dependent unit
+// reads them, since cross-package lock enforcement rides entirely on this
+// file.
+func TestVetxRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "pkg.vetx")
+
+	facts := map[string]bool{
+		"repro/internal/bintree.Forest.AddToUnit":      true,
+		"repro/internal/bintree.Forest.RadianceInUnit": true,
+	}
+	if code := writeFactsAndExit(unitConfig{VetxOutput: out}, facts, nil, 0); code != 0 {
+		t.Fatalf("writeFactsAndExit = %d, want 0", code)
+	}
+
+	got := importedFacts(unitConfig{PackageVetx: map[string]string{"repro/internal/bintree": out}})
+	if len(got) != len(facts) {
+		t.Fatalf("round-tripped %d facts, want %d: %v", len(got), len(facts), got)
+	}
+	for k := range facts {
+		if !got[k] {
+			t.Errorf("fact %q lost in round trip", k)
+		}
+	}
+}
+
+// TestVetxMissingDependency: a dependency without a vetx file contributes
+// no facts and no error — stdlib packages never carry photon directives.
+func TestVetxMissingDependency(t *testing.T) {
+	got := importedFacts(unitConfig{PackageVetx: map[string]string{
+		"fmt": filepath.Join(t.TempDir(), "absent.vetx"),
+	}})
+	if len(got) != 0 {
+		t.Fatalf("facts from absent vetx: %v", got)
+	}
+}
+
+// TestVetxCorruptDependency: unreadable fact files are skipped rather than
+// failing the whole vet run.
+func TestVetxCorruptDependency(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.vetx")
+	if err := os.WriteFile(bad, []byte("not json"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	got := importedFacts(unitConfig{PackageVetx: map[string]string{"x": bad}})
+	if len(got) != 0 {
+		t.Fatalf("facts from corrupt vetx: %v", got)
+	}
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GobConn polices the one-codec-per-connection contract (the PR 7 bug
+// class: gob decoders buffer their reader, so a throwaway handshake
+// decoder reads ahead into the next envelope's bytes and a second decoder
+// then starts mid-stream, corrupting the link). Two rules:
+//
+//  1. Constructing gob.NewEncoder (or gob.NewDecoder) more than once on
+//     the same value within one function is flagged — even when the two
+//     constructions sit on mutually exclusive paths, the discipline is one
+//     construction site per stream.
+//  2. Constructing a codec over a struct field whose struct also carries a
+//     stored *gob.Encoder/*gob.Decoder field is flagged — the stored codec
+//     is the connection's codec; build a second one and the stream splits.
+//
+// Applies to all packages (the transport files are not determinism-
+// annotated but carry this contract); _test.go files are skipped because
+// transport tests deliberately speak the protocol wrong to probe failure
+// handling.
+var GobConn = &Analyzer{
+	Name: "gobconn",
+	Doc:  "flag more than one gob.NewEncoder/NewDecoder per connection value",
+	Run:  runGobConn,
+}
+
+func runGobConn(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGobFunc(pass, f, fd)
+		}
+	}
+	return nil
+}
+
+type gobSite struct {
+	call *ast.CallExpr
+	kind string // "Encoder" or "Decoder"
+}
+
+func checkGobFunc(pass *Pass, f *ast.File, fd *ast.FuncDecl) {
+	// Group construction sites by innermost function (a goroutine body
+	// handling its own accepted conn is a separate stream owner) and by
+	// the argument's value identity: root object plus rendered path, with
+	// non-constant index expressions excluded since conns[peer] denotes a
+	// different connection each iteration.
+	type key struct {
+		fn   ast.Node
+		obj  types.Object
+		path string
+		kind string
+	}
+	seen := map[key]*ast.CallExpr{}
+
+	walkStack(fd, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		kind, arg := gobConstructor(pass.Info, call)
+		if kind == "" {
+			return
+		}
+		checkStoredCodecField(pass, f, call, kind, arg)
+
+		id := rootIdent(arg)
+		if id == nil {
+			return
+		}
+		obj := pass.Info.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		path, okPath := exprPath(arg)
+		if !okPath {
+			return // indexed by a variable: value identity varies per iteration
+		}
+		var fn ast.Node = fd
+		if body := enclosingFuncBody(stack); body != nil {
+			fn = body
+		}
+		k := key{fn: fn, obj: obj, path: path, kind: kind}
+		if first, dup := seen[k]; dup {
+			if suppressed(pass.Fset, f, call) {
+				return
+			}
+			pass.Reportf(call.Pos(), "gobconn: second gob.New%s on %s in this function (first at %s); gob codecs buffer their stream — construct exactly one per connection and reuse it", kind, path, pass.Fset.Position(first.Pos()))
+			return
+		}
+		seen[k] = call
+	})
+}
+
+// gobConstructor reports whether call is gob.NewEncoder/NewDecoder,
+// returning the codec kind and the stream argument.
+func gobConstructor(info *types.Info, call *ast.CallExpr) (kind string, arg ast.Expr) {
+	if len(call.Args) != 1 {
+		return "", nil
+	}
+	switch {
+	case isPkgCall(info, call, "encoding/gob", "NewEncoder"):
+		return "Encoder", call.Args[0]
+	case isPkgCall(info, call, "encoding/gob", "NewDecoder"):
+		return "Decoder", call.Args[0]
+	}
+	return "", nil
+}
+
+// checkStoredCodecField flags building a codec over x.f when x's struct
+// type also declares a *gob.Encoder/*gob.Decoder field — the stored codec
+// owns the stream.
+func checkStoredCodecField(pass *Pass, f *ast.File, call *ast.CallExpr, kind string, arg ast.Expr) {
+	sel, ok := ast.Unparen(arg).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// Only field selections count; method values and package selectors
+	// don't carry a stored codec.
+	if sele, found := pass.Info.Selections[sel]; !found || sele.Kind() != types.FieldVal {
+		return
+	}
+	recvT := pass.Info.TypeOf(sel.X)
+	if recvT == nil {
+		return
+	}
+	for {
+		p, isPtr := recvT.Underlying().(*types.Pointer)
+		if !isPtr {
+			break
+		}
+		recvT = p.Elem()
+	}
+	st, ok := recvT.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	want := "*encoding/gob." + kind
+	for i := 0; i < st.NumFields(); i++ {
+		if typeString(st.Field(i).Type()) == want {
+			if suppressed(pass.Fset, f, call) {
+				return
+			}
+			path, _ := exprPath(arg)
+			pass.Reportf(call.Pos(), "gobconn: new gob.%s over %s, but the struct already stores a *gob.%s field (%s); reuse the stored codec", kind, path, kind, st.Field(i).Name())
+			return
+		}
+	}
+}
+
+// typeString renders t with full package paths ("*encoding/gob.Decoder").
+func typeString(t types.Type) string {
+	return types.TypeString(t, nil)
+}

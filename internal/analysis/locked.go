@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Locked enforces the section-lock contract on forest mutation helpers: a
+// call to a function annotated //photon:requires-lock must occur in a
+// function that visibly holds the lock — i.e. one that either calls a
+// Lock()/RLock() method lexically before the call site, or is itself
+// annotated //photon:requires-lock (propagating the obligation to its own
+// callers).
+//
+// The annotation set crosses package boundaries: the vet driver writes
+// each package's annotated symbols into its vetx facts file and unions the
+// facts of its dependencies into Pass.RequiresLock, so shared-memory
+// engine code calling bintree helpers is checked without any whole-program
+// pass. _test.go files are skipped: tests exercise helpers
+// single-threaded.
+//
+// A reviewed call on a provably unshared value is suppressed with
+// //photon:lockheld on its line or the line above, with a remark saying
+// why no lock is needed.
+var Locked = &Analyzer{
+	Name: "locked",
+	Doc:  "calls to //photon:requires-lock helpers must hold the section lock",
+	Run:  runLocked,
+}
+
+func runLocked(pass *Pass) error {
+	required := map[string]bool{}
+	for k := range pass.RequiresLock {
+		required[k] = true
+	}
+	// Local declarations may not have flowed through facts (in-process
+	// analysistest mode); scan them directly.
+	for k := range ScanRequiresLock(pass.Pkg, pass.Files) {
+		required[k] = true
+	}
+	if len(required) == 0 {
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if funcHasDirective(fd, DirRequiresLock) {
+				continue // obligation propagates to this function's callers
+			}
+			checkLockedCalls(pass, f, fd, required)
+		}
+	}
+	return nil
+}
+
+func checkLockedCalls(pass *Pass, f *ast.File, fd *ast.FuncDecl, required map[string]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || !required[FuncKey(fn)] {
+			return true
+		}
+		if lockHeldBefore(fd.Body, call.Pos()) {
+			return true
+		}
+		if suppressedBy(pass.Fset, f, call, DirLockHeld) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "locked: %s requires the section lock (//photon:requires-lock) but no Lock()/RLock() call precedes it in %s; take the lock or annotate the caller", fn.Name(), fd.Name.Name)
+		return true
+	})
+}
+
+// lockHeldBefore reports whether a Lock()/RLock() method call appears
+// anywhere in body lexically before pos. Lexical order is a sound proxy
+// here: the codebase's idiom is acquire-then-mutate within one function,
+// with the unlock deferred or trailing.
+func lockHeldBefore(body *ast.BlockStmt, pos token.Pos) bool {
+	held := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || len(call.Args) != 0 {
+			return true
+		}
+		name := sel.Sel.Name
+		if name == "Lock" || name == "RLock" || strings.HasPrefix(name, "Lock") {
+			held = true
+			return false
+		}
+		return true
+	})
+	return held
+}

@@ -1,0 +1,84 @@
+//photon:deterministic — analyzer test fixture.
+
+package floatreduce
+
+import (
+	"math"
+	"sync"
+)
+
+func goroutineAccum(xs []float64) float64 {
+	var sum float64
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sum += x // want `floatreduce: floating-point accumulation into captured sum`
+		}()
+	}
+	wg.Wait()
+	return sum
+}
+
+func goroutineLonghand(xs []float64) float64 {
+	var sum float64
+	done := make(chan struct{})
+	go func() {
+		for _, x := range xs {
+			sum = sum + x // want `floatreduce: floating-point accumulation into captured sum`
+		}
+		close(done)
+	}()
+	<-done
+	return sum
+}
+
+func goroutineLocalOK(xs []float64, out chan<- float64) {
+	go func() {
+		local := 0.0
+		for _, x := range xs {
+			local += x // per-worker buffer: merged in order by the receiver
+		}
+		out <- local
+	}()
+}
+
+func goroutineIntOK(xs []int) int {
+	var n int
+	done := make(chan struct{})
+	go func() {
+		for _, x := range xs {
+			n += x
+		}
+		close(done)
+	}()
+	<-done
+	return n
+}
+
+func mapAccum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `floatreduce: float accumulation into total follows map iteration order`
+	}
+	return total
+}
+
+func mapAccumReviewed(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		//photon:orderinvariant — compared against a tolerance, not bit-identity
+		total += v
+	}
+	return total
+}
+
+func fma(a, b, c float64) float64 {
+	return math.FMA(a, b, c) // want `floatreduce: math.FMA`
+}
+
+func fmaReviewed(a, b, c float64) float64 {
+	//photon:orderinvariant — fixture: both comparands use FMA
+	return math.FMA(a, b, c)
+}

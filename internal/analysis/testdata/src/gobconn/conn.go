@@ -1,0 +1,68 @@
+package gobconn
+
+import (
+	"encoding/gob"
+	"net"
+)
+
+func dupDecoder(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	var peer int
+	dec.Decode(&peer)
+	dec2 := gob.NewDecoder(conn) // want `gobconn: second gob.NewDecoder on conn`
+	_ = dec2
+}
+
+func dupEncoder(conn net.Conn) {
+	_ = gob.NewEncoder(conn)
+	_ = gob.NewEncoder(conn) // want `gobconn: second gob.NewEncoder on conn`
+}
+
+func reviewedDup(conn net.Conn) {
+	_ = gob.NewEncoder(conn)
+	//photon:orderinvariant — fixture: second codec never writes
+	_ = gob.NewEncoder(conn)
+}
+
+func pairOK(conn net.Conn) {
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	_, _ = enc, dec
+}
+
+func twoConnsOK(a, b net.Conn) {
+	_ = gob.NewEncoder(a)
+	_ = gob.NewEncoder(b)
+}
+
+type link struct {
+	conn net.Conn
+	dec  *gob.Decoder
+}
+
+func (l *link) reread() {
+	_ = gob.NewDecoder(l.conn) // want `gobconn: new gob.Decoder over l.conn, but the struct already stores`
+}
+
+type plain struct{ conn net.Conn }
+
+func (p *plain) fresh() {
+	_ = gob.NewDecoder(p.conn) // no stored codec: this construction owns the stream
+}
+
+func indexedOK(conns []net.Conn) {
+	for i := range conns {
+		_ = gob.NewDecoder(conns[i]) // a different connection each iteration
+	}
+}
+
+func goroutineOwnershipOK(ln net.Listener) {
+	go func() {
+		conn, _ := ln.Accept()
+		_ = gob.NewDecoder(conn)
+	}()
+	go func() {
+		conn, _ := ln.Accept()
+		_ = gob.NewDecoder(conn)
+	}()
+}

@@ -1,0 +1,51 @@
+package locked
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bump mutates s.n.
+//
+//photon:requires-lock
+func (s *store) bump() { s.n++ }
+
+func locksFirst(s *store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bump()
+}
+
+func forgets(s *store) {
+	s.bump() // want `locked: bump requires the section lock`
+}
+
+//photon:requires-lock
+func propagates(s *store) { s.bump() }
+
+func reviewed() int {
+	s := &store{}
+	//photon:lockheld — s is function-local; no concurrent access exists
+	s.bump()
+	return s.n
+}
+
+type rw struct {
+	mu sync.RWMutex
+	v  int
+}
+
+//photon:requires-lock
+func (r *rw) read() int { return r.v }
+
+func readLocked(r *rw) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.read()
+}
+
+func readUnlocked(r *rw) int {
+	return r.read() // want `locked: read requires the section lock`
+}

@@ -1,0 +1,13 @@
+// Package lockedhelpers provides an annotated mutation helper for the
+// locked analyzer's cross-package fact tests.
+package lockedhelpers
+
+// Table is a counter table guarded by a lock its callers own.
+type Table struct {
+	Vals map[string]int
+}
+
+// Put records v under key.
+//
+//photon:requires-lock
+func (t *Table) Put(key string, v int) { t.Vals[key] = v }

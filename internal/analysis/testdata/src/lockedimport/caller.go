@@ -1,0 +1,19 @@
+package lockedimport
+
+import (
+	"sync"
+
+	"lockedhelpers"
+)
+
+var mu sync.Mutex
+
+func guarded(t *lockedhelpers.Table) {
+	mu.Lock()
+	defer mu.Unlock()
+	t.Put("a", 1)
+}
+
+func unguarded(t *lockedhelpers.Table) {
+	t.Put("a", 1) // want `locked: Put requires the section lock`
+}

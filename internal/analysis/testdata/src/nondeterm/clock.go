@@ -1,0 +1,39 @@
+//photon:deterministic — analyzer test fixture.
+
+package nondeterm
+
+import "time"
+
+type tracer struct{ on bool }
+
+func (t *tracer) Enabled() bool { return t.on }
+
+func ungatedNow() time.Time {
+	return time.Now() // want `nondeterm: time.Now outside an Enabled\(\) gate`
+}
+
+func ungatedSince(start time.Time) time.Duration {
+	return time.Since(start) // want `nondeterm: time.Since outside an Enabled\(\) gate`
+}
+
+func gatedClock(tr *tracer) {
+	var start time.Time
+	if tr.Enabled() {
+		start = time.Now()
+	}
+	if tr.Enabled() {
+		_ = time.Since(start)
+	}
+}
+
+func earlyReturnGate(tr *tracer) {
+	if !tr.Enabled() {
+		return
+	}
+	_ = time.Now()
+}
+
+func reviewedClock() time.Time {
+	//photon:orderinvariant — fixture: result is logged, never fed back
+	return time.Now()
+}

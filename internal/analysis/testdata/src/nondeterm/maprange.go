@@ -1,0 +1,95 @@
+//photon:deterministic — analyzer test fixture.
+
+package nondeterm
+
+import (
+	"fmt"
+	"sort"
+)
+
+func sends(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `nondeterm: send inside range over map`
+	}
+}
+
+func reviewedSend(m map[string]int, ch chan string) {
+	for k := range m {
+		//photon:orderinvariant — consumer sorts before use
+		ch <- k
+	}
+}
+
+func writes(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `nondeterm: write inside range over map`
+	}
+}
+
+func writeWithoutElement(m map[string]int) {
+	for range m {
+		fmt.Println("tick") // order-independent: no key/value escapes
+	}
+}
+
+func concat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `nondeterm: string concatenation inside range over map`
+	}
+	return s
+}
+
+func intSumOK(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // integer addition commutes
+	}
+	return total
+}
+
+func keeps(m map[string]int) int {
+	last := 0
+	for _, v := range m {
+		last = v // want `nondeterm: assignment inside range over map`
+	}
+	return last
+}
+
+func returnsFirst(m map[string]int) string {
+	for k := range m {
+		return k // want `nondeterm: return inside range over map`
+	}
+	return ""
+}
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `nondeterm: append to keys inside range over map`
+	}
+	return keys
+}
+
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v // writing through a map index is order-independent
+	}
+	return out
+}
+
+func sliceRangeFine(xs []string, ch chan string) {
+	for _, x := range xs {
+		ch <- x
+	}
+}

@@ -1,0 +1,7 @@
+//photon:deterministic — analyzer test fixture.
+
+package nondeterm
+
+import "math/rand" // want `nondeterm: "math/rand" is forbidden`
+
+func draw() int { return rand.Int() }

@@ -1,0 +1,81 @@
+package obsgate
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+func ungated(run *obs.Run) {
+	start := time.Now() // want `obsgate: time.Now stored in start`
+	work()
+	run.Set("wall_ms", float64(time.Since(start).Milliseconds())) // want `obsgate: time.Since feeds an obs consumer`
+}
+
+func gated(run *obs.Run) {
+	var start time.Time
+	if run.Enabled() {
+		start = time.Now()
+	}
+	work()
+	if run.Enabled() {
+		run.Set("wall_ms", float64(time.Since(start).Milliseconds()))
+	}
+}
+
+func nilGuard(run *obs.Run) {
+	if run == nil {
+		return
+	}
+	start := time.Now()
+	work()
+	run.Set("wall_ms", float64(time.Since(start).Milliseconds()))
+}
+
+func nonConstName(run *obs.Run, name string) {
+	run.Set("rank_"+name, 1) // want `obsgate: non-constant name passed to \(\*obs\.Run\)\.Set`
+}
+
+func nonConstNameGated(run *obs.Run, name string) {
+	if run.Enabled() {
+		run.Set("rank_"+name, 1)
+	}
+}
+
+func constNameOK(run *obs.Run) {
+	run.Set("photons", 1) // constants are free on the disabled path
+}
+
+func clockNotFeedingOK(run *obs.Run) time.Time {
+	t := time.Now() // never reaches an obs consumer
+	run.Set("photons", 1)
+	return t
+}
+
+// helper mirrors engine.observe: a *obs.Run parameter makes every call
+// site an obs consumer.
+func helper(run *obs.Run, elapsed time.Duration) {
+	if run == nil {
+		return
+	}
+	run.Set("wall_ms", float64(elapsed.Milliseconds()))
+}
+
+func viaHelperGated(run *obs.Run) {
+	var start time.Time
+	if run.Enabled() {
+		start = time.Now()
+	}
+	work()
+	if run.Enabled() {
+		helper(run, time.Since(start))
+	}
+}
+
+func viaHelperUngated(run *obs.Run) {
+	start := time.Now() // want `obsgate: time.Now stored in start`
+	work()
+	helper(run, time.Since(start)) // want `obsgate: time.Since feeds an obs consumer`
+}
+
+func work() {}

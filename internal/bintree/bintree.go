@@ -1,3 +1,6 @@
+//photon:deterministic — adaptive bin trees must evolve identically given an identical tally order;
+// photon-lint (nondeterm, floatreduce) polices this file — see DESIGN.md.
+
 // Package bintree implements the paper's central data structure: the
 // four-dimensional adaptive histogram bin tree (Figures 4.5 and 4.6).
 //

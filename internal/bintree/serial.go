@@ -1,3 +1,6 @@
+//photon:deterministic — adaptive bin trees must evolve identically given an identical tally order;
+// photon-lint (nondeterm, floatreduce) polices this file — see DESIGN.md.
+
 package bintree
 
 import (

@@ -1,3 +1,6 @@
+//photon:deterministic — reflection decisions replay exactly from the photon's counted substream;
+// photon-lint (nondeterm, floatreduce) polices this file — see DESIGN.md.
+
 // Package brdf models surface-light interaction for the Photon simulator.
 //
 // The dissertation uses the physical-optics reflection model of He et al.;

@@ -146,7 +146,12 @@ func (c *coordinator) acceptLoop(ln net.Listener) {
 }
 
 func (c *coordinator) serveConn(id int, conn net.Conn) {
+	// One encoder and one decoder for the connection's whole life —
+	// including the reject path. Gob codecs buffer their stream, so a
+	// second construction over the same conn starts mid-stream (the
+	// gobconn analyzer enforces this).
 	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
 	var hello ctrlMsg
 	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
 	if err := dec.Decode(&hello); err != nil || hello.Kind != kindHello {
@@ -156,14 +161,12 @@ func (c *coordinator) serveConn(id int, conn net.Conn) {
 	conn.SetReadDeadline(time.Time{})
 	if hello.Version != WireVersion {
 		c.logf("rejecting worker speaking wire version %d (this coordinator speaks %d)", hello.Version, WireVersion)
-		// The only write this side ever makes on a rejected connection,
-		// so no encoder sharing to worry about.
-		gob.NewEncoder(conn).Encode(ctrlMsg{Kind: kindReject,
+		enc.Encode(ctrlMsg{Kind: kindReject,
 			Reason: fmt.Sprintf("wire version %d, coordinator speaks %d", hello.Version, WireVersion)})
 		conn.Close()
 		return
 	}
-	w := &worker{id: id, conn: conn, enc: gob.NewEncoder(conn)}
+	w := &worker{id: id, conn: conn, enc: enc}
 	w.beat()
 	for {
 		var m ctrlMsg

@@ -1,3 +1,6 @@
+//photon:deterministic — photon trajectories and tallies are pure functions of (scene, seed, photon index);
+// photon-lint (nondeterm, floatreduce) polices this file — see DESIGN.md.
+
 // Package core implements the sequential Photon engine — the paper's
 // primary contribution (Figure 4.1):
 //

@@ -1,3 +1,6 @@
+//photon:deterministic — rank-order tally application keeps the assembled forest bit-identical to serial;
+// photon-lint (nondeterm, floatreduce) polices this file — see DESIGN.md.
+
 package dist
 
 // Coordinated checkpoint/restart for the replicated engine — the

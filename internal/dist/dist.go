@@ -1,3 +1,6 @@
+//photon:deterministic — rank-order tally application keeps the assembled forest bit-identical to serial;
+// photon-lint (nondeterm, floatreduce) polices this file — see DESIGN.md.
+
 // Package dist implements the distributed-memory Photon engines — the
 // paper's central contribution (chapter 5) plus the dissertation's
 // chapter-6 "Massive Parallelism" variant. Ranks are in-process

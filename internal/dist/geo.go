@@ -1,3 +1,6 @@
+//photon:deterministic — rank-order tally application keeps the assembled forest bit-identical to serial;
+// photon-lint (nondeterm, floatreduce) polices this file — see DESIGN.md.
+
 package dist
 
 // The geometry-distributed engine — the dissertation's chapter-6 "Massive

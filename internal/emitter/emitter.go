@@ -1,3 +1,6 @@
+//photon:deterministic — emission positions and directions replay exactly from (seed, photon index);
+// photon-lint (nondeterm, floatreduce) polices this file — see DESIGN.md.
+
 // Package emitter implements photon generation (chapter 4): luminaire
 // selection proportional to emitted power, uniform position sampling on the
 // emitting patch, and direction sampling with the fast rejection kernel —

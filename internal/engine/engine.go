@@ -1,3 +1,6 @@
+//photon:deterministic — engine adapters must not let wall clocks or map order steer results;
+// photon-lint (nondeterm, floatreduce) polices this file — see DESIGN.md.
+
 // Package engine defines the one interface every Photon parallelization
 // strategy implements, so that callers — the public photon API, the
 // commands, the experiment harness — drive serial, shared-memory,

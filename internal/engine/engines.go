@@ -1,3 +1,6 @@
+//photon:deterministic — engine adapters must not let wall clocks or map order steer results;
+// photon-lint (nondeterm, floatreduce) polices this file — see DESIGN.md.
+
 package engine
 
 // The four Engine implementations: thin, uniform adapters over the
@@ -81,15 +84,23 @@ func (serialEngine) Run(scene *scenes.Scene, cfg Config) (*Solution, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	// The clock is read only when observability is on: a disabled run
+	// must cost zero clock reads and zero allocations (the obsgate
+	// analyzer enforces this gate).
 	span := cfg.Obs.StartSpan("simulate")
-	start := time.Now()
+	var start time.Time
+	if cfg.Obs.Enabled() {
+		start = time.Now()
+	}
 	res, err := core.RunProgress(scene, cfg.Core, cfg.Progress)
 	span.End()
 	if err != nil {
 		return nil, err
 	}
 	sol := &Solution{Result: res}
-	observe(cfg.Obs, "serial", time.Since(start), sol)
+	if cfg.Obs.Enabled() {
+		observe(cfg.Obs, "serial", time.Since(start), sol)
+	}
 	return sol, nil
 }
 
@@ -102,7 +113,10 @@ func (sharedEngine) Run(scene *scenes.Scene, cfg Config) (*Solution, error) {
 		return nil, err
 	}
 	span := cfg.Obs.StartSpan("simulate")
-	start := time.Now()
+	var start time.Time
+	if cfg.Obs.Enabled() {
+		start = time.Now()
+	}
 	res, err := shared.Run(scene, shared.Config{
 		Core:      cfg.Core,
 		Workers:   cfg.workers(),
@@ -115,7 +129,9 @@ func (sharedEngine) Run(scene *scenes.Scene, cfg Config) (*Solution, error) {
 		return nil, err
 	}
 	sol := &Solution{Result: res}
-	observe(cfg.Obs, "shared", time.Since(start), sol)
+	if cfg.Obs.Enabled() {
+		observe(cfg.Obs, "shared", time.Since(start), sol)
+	}
 	return sol, nil
 }
 
@@ -139,14 +155,19 @@ func (distEngine) Run(scene *scenes.Scene, cfg Config) (*Solution, error) {
 	dcfg.Progress = cfg.Progress
 	dcfg.Obs = cfg.Obs
 	span := cfg.Obs.StartSpan("simulate")
-	start := time.Now()
+	var start time.Time
+	if cfg.Obs.Enabled() {
+		start = time.Now()
+	}
 	res, err := dist.Run(scene, dcfg)
 	span.End()
 	if err != nil {
 		return nil, err
 	}
 	sol := &Solution{Result: res.Result, Dist: res}
-	observe(cfg.Obs, "distributed", time.Since(start), sol)
+	if cfg.Obs.Enabled() {
+		observe(cfg.Obs, "distributed", time.Since(start), sol)
+	}
 	return sol, nil
 }
 
@@ -176,13 +197,18 @@ func (geoEngine) Run(scene *scenes.Scene, cfg Config) (*Solution, error) {
 	dcfg.Progress = cfg.Progress
 	dcfg.Obs = cfg.Obs
 	span := cfg.Obs.StartSpan("simulate")
-	start := time.Now()
+	var start time.Time
+	if cfg.Obs.Enabled() {
+		start = time.Now()
+	}
 	res, err := dist.GeoRun(scene, dcfg)
 	span.End()
 	if err != nil {
 		return nil, err
 	}
 	sol := &Solution{Result: res.Result, Dist: res}
-	observe(cfg.Obs, "geo", time.Since(start), sol)
+	if cfg.Obs.Enabled() {
+		observe(cfg.Obs, "geo", time.Since(start), sol)
+	}
 	return sol, nil
 }

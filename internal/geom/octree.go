@@ -1,3 +1,6 @@
+//photon:deterministic — intersection results and traversal order must not vary between runs;
+// photon-lint (nondeterm, floatreduce) polices this file — see DESIGN.md.
+
 package geom
 
 import (

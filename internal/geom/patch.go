@@ -1,3 +1,6 @@
+//photon:deterministic — intersection results and traversal order must not vary between runs;
+// photon-lint (nondeterm, floatreduce) polices this file — see DESIGN.md.
+
 // Package geom provides the geometric substrate of the Photon simulator:
 // planar parallelogram patches with the bilinear (s,t) parameterization the
 // 4-D histogram bins require, a scene container, and the octree spatial

@@ -1,3 +1,6 @@
+//photon:deterministic — a validator must fail the same way on the same input;
+// photon-lint (nondeterm, floatreduce) polices this file — see DESIGN.md.
+
 package obs
 
 // Prometheus text-exposition parsing — the validating half of the /metrics
@@ -11,6 +14,7 @@ package obs
 import (
 	"bufio"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -90,12 +94,50 @@ func ParseExposition(text string) (*Exposition, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	// Collect every offending family and report them sorted: returning on
+	// the first map-iteration hit would name an arbitrary family when more
+	// than one histogram is broken, making the error message flap between
+	// runs (the nondeterm analyzer rejects that pattern).
+	var broken []string
 	for fam, typ := range exp.Types {
 		if typ == "histogram" && !sawInf[fam] && familyHasSamples(exp, fam) {
-			return nil, fmt.Errorf("histogram %s has no le=\"+Inf\" bucket", fam)
+			broken = append(broken, fam)
 		}
 	}
+	sort.Strings(broken)
+	if len(broken) > 0 {
+		return nil, fmt.Errorf("histogram %s has no le=\"+Inf\" bucket", strings.Join(broken, ", "))
+	}
 	return exp, nil
+}
+
+// HasSamples reports whether the family has any samples: the bare name
+// for counters and gauges, or the _count series a histogram always
+// exposes.
+func (e *Exposition) HasSamples(family string) bool {
+	for _, s := range e.Samples {
+		if s.Name == family || s.Name == family+"_count" {
+			return true
+		}
+	}
+	return false
+}
+
+// RequireFamilies checks that every named family has samples, reporting
+// all missing ones (sorted) in a single deterministic error. It is the
+// validation core behind photon-metrics-lint's -require flag.
+func (e *Exposition) RequireFamilies(names ...string) error {
+	var missing []string
+	for _, name := range names {
+		if !e.HasSamples(name) {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("required metric %s has no samples", strings.Join(missing, ", "))
+	}
+	return nil
 }
 
 // histogramFamily maps a _bucket/_sum/_count sample name back to its

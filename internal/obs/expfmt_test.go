@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBrokenHistogramErrorIsDeterministic is the regression pin for the
+// expfmt nondeterminism finding: with more than one histogram family
+// missing its +Inf bucket, the validator used to return on the first hit
+// of a map iteration, so the error named an arbitrary family and flapped
+// between runs. The fix collects every offender and reports them sorted;
+// this test feeds two broken families (declared in reverse lexical order
+// to defeat insertion-order luck) and asserts the exact message across
+// repeated parses.
+func TestBrokenHistogramErrorIsDeterministic(t *testing.T) {
+	text := strings.Join([]string{
+		`# TYPE zeta_seconds histogram`,
+		`# TYPE alpha_seconds histogram`,
+		`zeta_seconds_bucket{le="1"} 3`,
+		`zeta_seconds_sum 1.5`,
+		`zeta_seconds_count 3`,
+		`alpha_seconds_bucket{le="1"} 2`,
+		`alpha_seconds_sum 0.5`,
+		`alpha_seconds_count 2`,
+	}, "\n")
+
+	const want = `histogram alpha_seconds, zeta_seconds has no le="+Inf" bucket`
+	for i := 0; i < 50; i++ {
+		_, err := ParseExposition(text)
+		if err == nil {
+			t.Fatal("ParseExposition accepted histograms without +Inf buckets")
+		}
+		if err.Error() != want {
+			t.Fatalf("run %d: error %q, want %q", i, err, want)
+		}
+	}
+}
+
+func TestMalformedHistograms(t *testing.T) {
+	cases := []struct {
+		name    string
+		text    string
+		wantErr string
+	}{
+		{
+			name: "bucket without le label",
+			text: "# TYPE h histogram\n" +
+				`h_bucket{x="1"} 1` + "\n" +
+				"h_count 1\n",
+			wantErr: "without le label",
+		},
+		{
+			name: "le not a float",
+			text: "# TYPE h histogram\n" +
+				`h_bucket{le="wide"} 1` + "\n" +
+				"h_count 1\n",
+			wantErr: "not a float",
+		},
+		{
+			name: "missing +Inf with samples",
+			text: "# TYPE h histogram\n" +
+				`h_bucket{le="0.5"} 1` + "\n" +
+				"h_sum 0.25\n" +
+				"h_count 1\n",
+			wantErr: `histogram h has no le="+Inf" bucket`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseExposition(tc.text)
+			if err == nil {
+				t.Fatalf("ParseExposition accepted:\n%s", tc.text)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// A declared-but-unsampled histogram is legal: the +Inf requirement only
+// bites once the family emits series.
+func TestDeclaredEmptyHistogramOK(t *testing.T) {
+	if _, err := ParseExposition("# TYPE h histogram\n"); err != nil {
+		t.Fatalf("empty declared histogram rejected: %v", err)
+	}
+}
+
+func TestRequireFamilies(t *testing.T) {
+	text := strings.Join([]string{
+		`# TYPE photons_total counter`,
+		`photons_total 4000`,
+		`# TYPE trace_seconds histogram`,
+		`trace_seconds_bucket{le="+Inf"} 4`,
+		`trace_seconds_sum 0.5`,
+		`trace_seconds_count 4`,
+	}, "\n")
+	exp, err := ParseExposition(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := exp.RequireFamilies("photons_total", "trace_seconds"); err != nil {
+		t.Fatalf("present families reported missing: %v", err)
+	}
+	if exp.HasSamples("nope") {
+		t.Fatal("HasSamples(nope) = true")
+	}
+
+	// All missing families come back in one sorted error, regardless of
+	// the order they were asked for.
+	err = exp.RequireFamilies("zz_missing", "photons_total", "aa_missing")
+	if err == nil {
+		t.Fatal("RequireFamilies passed with missing families")
+	}
+	const want = "required metric aa_missing, zz_missing has no samples"
+	if err.Error() != want {
+		t.Fatalf("error %q, want %q", err, want)
+	}
+}

@@ -1,3 +1,6 @@
+//photon:deterministic — sample sequences are functions of the substream state alone;
+// photon-lint (nondeterm, floatreduce) polices this file — see DESIGN.md.
+
 // Package sampler implements the direction-sampling kernels of the Photon
 // simulator (chapter 4 of the dissertation).
 //

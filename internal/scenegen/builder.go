@@ -1,3 +1,6 @@
+//photon:deterministic — generated scenes are identical for a given family, size, and seed;
+// photon-lint (nondeterm, floatreduce) polices this file — see DESIGN.md.
+
 package scenegen
 
 import (

@@ -1,3 +1,6 @@
+//photon:deterministic — generated scenes are identical for a given family, size, and seed;
+// photon-lint (nondeterm, floatreduce) polices this file — see DESIGN.md.
+
 // Package scenegen is the seed-parameterized procedural scene generator:
 // it manufactures deterministic *families* of simulation-ready geometry —
 // room grids with doorways, furniture clutter at controllable occlusion

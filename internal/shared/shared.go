@@ -1,3 +1,6 @@
+//photon:deterministic — worker tallies merge in photon order, never scheduler order;
+// photon-lint (nondeterm, floatreduce) polices this file — see DESIGN.md.
+
 // Package shared implements the shared-memory parallelization of Photon.
 //
 // The seed algorithm (Figure 5.2, retained as RunLocked) executes the same

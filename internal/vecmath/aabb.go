@@ -1,3 +1,6 @@
+//photon:deterministic — this float arithmetic underpins cross-engine bit-identity; no FMA or reassociation;
+// photon-lint (nondeterm, floatreduce) polices this file — see DESIGN.md.
+
 package vecmath
 
 import "math"

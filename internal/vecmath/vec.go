@@ -1,3 +1,6 @@
+//photon:deterministic — this float arithmetic underpins cross-engine bit-identity; no FMA or reassociation;
+// photon-lint (nondeterm, floatreduce) polices this file — see DESIGN.md.
+
 // Package vecmath provides the small dense linear-algebra kernel used by the
 // Photon global-illumination system: 3-vectors, rays, axis-aligned bounding
 // boxes and orthonormal bases.
