@@ -203,6 +203,56 @@ func BenchmarkTracePhotons(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceWavefront is BenchmarkTracePhotons on the batched
+// wavefront path: same scenes, same photon counts, one thread — the
+// difference between the two photons/s metrics is the pure batching gain
+// the trajectory's wavefront-speedup rows track.
+func BenchmarkTraceWavefront(b *testing.B) {
+	for _, name := range benchScenes {
+		b.Run(name, func(b *testing.B) {
+			sc, err := SceneByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			const photonsPerIter = 20000
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig(photonsPerIter)
+				cfg.Seed = int64(i + 1)
+				if _, err := core.RunWavefront(sc, cfg, core.DefaultWaveSize); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(photonsPerIter)*float64(b.N)/b.Elapsed().Seconds(), "photons/s")
+		})
+	}
+}
+
+// BenchmarkParallelScaling is the workers 1→2→4→8 sweep of the shared
+// wavefront engine — the benchmark form of photon-bench's
+// parallel-scaling suite, on the same cornell-box workload.
+func BenchmarkParallelScaling(b *testing.B) {
+	sc, err := SceneByName("cornell-box")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range benchutil.ScalingWorkers {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			const photonsPerIter = 20000
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := shared.DefaultConfig(photonsPerIter)
+				cfg.Core.Seed = int64(i + 1)
+				cfg.Workers = workers
+				if _, err := shared.Run(sc, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(photonsPerIter)*float64(b.N)/b.Elapsed().Seconds(), "photons/s")
+		})
+	}
+}
+
 // benchRays is the shared deterministic ray set (see internal/benchutil).
 func benchRays(sc *Scene, n int) []vecmath.Ray {
 	return benchutil.Rays(sc.Geom, n)

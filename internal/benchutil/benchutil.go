@@ -21,6 +21,12 @@ const GenScene = "gen:office/seed=7/rooms=2/density=0.6"
 // rooms plus one procedurally generated office.
 var Scenes = []string{"cornell-box", "harpsichord-room", "computer-lab", GenScene}
 
+// ScalingWorkers is the worker-width sweep of the parallel-scaling suite:
+// the shared engine is measured at each width so BENCH_*.json answers "how
+// far from linear are we" with photons/s, efficiency versus linear, and
+// Mrays/s-per-core at 1→2→4→8 workers.
+var ScalingWorkers = []int{1, 2, 4, 8}
+
 // ScaleSweep is the scene-scale sweep: the grid family at patch counts
 // 10²→10⁴, so BENCH_*.json records how octree build, intersection and
 // tracing throughput scale with geometry size. The 10⁵ point exists

@@ -121,6 +121,7 @@ func (sharedEngine) Run(scene *scenes.Scene, cfg Config) (*Solution, error) {
 		Core:      cfg.Core,
 		Workers:   cfg.workers(),
 		ChunkSize: cfg.ChunkSize,
+		BatchSize: cfg.BatchSize,
 		Progress:  cfg.Progress,
 		Obs:       cfg.Obs,
 	})

@@ -1,0 +1,194 @@
+package geom
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sampler"
+	"repro/internal/vecmath"
+)
+
+// checkPacketMatchesScalar traces the rays once through the scalar Intersect
+// and once as a single packet, requiring EXACT equality: the packet
+// traversal's contract is bit-identity with the scalar path (same hit, same
+// patch on exact ties, same float rounding in every Hit field), because the
+// wavefront engines' conformance with the per-photon engines rests on it.
+func checkPacketMatchesScalar(t *testing.T, s *Scene, rays []vecmath.Ray, label string) {
+	t.Helper()
+	var packet RayPacket
+	var scratch PacketScratch
+	packet.Reset()
+	for _, r := range rays {
+		packet.Append(r)
+	}
+	hits := make([]Hit, len(rays))
+	found := make([]bool, len(rays))
+	s.IntersectPacket(&packet, hits, found, &scratch)
+	for i, r := range rays {
+		var want Hit
+		wantFound := s.Intersect(r, &want)
+		if found[i] != wantFound {
+			t.Fatalf("%s ray %d %+v: packet found=%v scalar found=%v",
+				label, i, r, found[i], wantFound)
+		}
+		if !wantFound {
+			continue
+		}
+		if hits[i] != want {
+			t.Fatalf("%s ray %d %+v: packet hit differs from scalar:\npacket: %+v\nscalar: %+v",
+				label, i, r, hits[i], want)
+		}
+	}
+}
+
+// TestIntersectPacketMatchesScalar sweeps the packet traversal against the
+// scalar one over randomized scenes of several sizes with the historically
+// dangerous ray classes: uniform rays, axis-parallel rays (IEEE-infinity
+// reciprocals), rays through the root center, rays originating exactly on
+// patches, and mixed-signmask packets — all in single shared packets so
+// rays of every sign group and region coexist.
+func TestIntersectPacketMatchesScalar(t *testing.T) {
+	sizes := []int{0, 1, 7, 60, 400}
+	for si, n := range sizes {
+		s := boxScene(t, 10, n, int64(300+si))
+		r := rng.New(int64(11 * (si + 1)))
+		center := s.Octree().Bounds().Center()
+		axes := [6]vecmath.Vec3{
+			vecmath.V(1, 0, 0), vecmath.V(-1, 0, 0),
+			vecmath.V(0, 1, 0), vecmath.V(0, -1, 0),
+			vecmath.V(0, 0, 1), vecmath.V(0, 0, -1),
+		}
+		var rays []vecmath.Ray
+		for i := 0; i < 300; i++ {
+			origin := vecmath.V(r.Float64()*12-1, r.Float64()*12-1, r.Float64()*12-1)
+			rays = append(rays,
+				vecmath.Ray{Origin: origin, Dir: sampler.UniformSphere(r)},
+				vecmath.Ray{Origin: origin, Dir: axes[i%6]},
+				vecmath.Ray{Origin: center, Dir: sampler.UniformSphere(r)},
+			)
+			if toCenter := center.Sub(origin); toCenter.Len() > 0 {
+				rays = append(rays, vecmath.Ray{Origin: origin, Dir: toCenter.Norm()})
+			}
+			p := &s.Patches[i%len(s.Patches)]
+			rays = append(rays, vecmath.Ray{
+				Origin: p.Point(r.Float64(), r.Float64()), Dir: sampler.UniformSphere(r),
+			})
+		}
+		checkPacketMatchesScalar(t, s, rays, "mixed")
+	}
+}
+
+// TestIntersectPacketDeepScene reruns the depth-cap cluster scene through
+// the packet path: many interior levels, tight cells, and aimed rays that
+// traverse the whole octant chain together.
+func TestIntersectPacketDeepScene(t *testing.T) {
+	patches := roomPatches(10)
+	r := rng.New(77)
+	for i := 0; i < 300; i++ {
+		o := vecmath.V(1+0.2*r.Float64(), 1+0.2*r.Float64(), 1+0.2*r.Float64())
+		patches = append(patches, Patch{
+			Origin: o,
+			EdgeS:  vecmath.V(0.02+0.05*r.Float64(), 0.01*r.Float64(), 0),
+			EdgeT:  vecmath.V(0, 0.02+0.05*r.Float64(), 0.01*r.Float64()),
+		})
+	}
+	s, err := NewScene(patches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rays []vecmath.Ray
+	for i := 0; i < 1000; i++ {
+		origin := vecmath.V(r.Float64()*10, r.Float64()*10, r.Float64()*10)
+		rays = append(rays, vecmath.Ray{Origin: origin, Dir: sampler.UniformSphere(r)})
+	}
+	for i := 0; i < 300; i++ {
+		origin := vecmath.V(9, 9, 9)
+		target := vecmath.V(1+0.2*r.Float64(), 1+0.2*r.Float64(), 1+0.2*r.Float64())
+		rays = append(rays, vecmath.Ray{Origin: origin, Dir: target.Sub(origin).Norm()})
+	}
+	checkPacketMatchesScalar(t, s, rays, "deep")
+}
+
+// TestIntersectPacketDegenerateSizes pins the edge widths: an empty packet
+// is a no-op, and 1-ray packets (the batch=1 conformance configuration)
+// reduce exactly to the scalar traversal.
+func TestIntersectPacketDegenerateSizes(t *testing.T) {
+	s := boxScene(t, 10, 40, 9)
+	var packet RayPacket
+	var scratch PacketScratch
+	s.IntersectPacket(&packet, nil, nil, &scratch) // empty: must not panic
+
+	r := rng.New(13)
+	for i := 0; i < 200; i++ {
+		origin := vecmath.V(r.Float64()*10, r.Float64()*10, r.Float64()*10)
+		checkPacketMatchesScalar(t, s,
+			[]vecmath.Ray{{Origin: origin, Dir: sampler.UniformSphere(r)}}, "single")
+	}
+}
+
+// TestIntersectPacketScratchReuse runs several packets of varying size
+// through ONE scratch + packet pair, interleaving sizes so stale best/found
+// state from a larger previous packet would be caught.
+func TestIntersectPacketScratchReuse(t *testing.T) {
+	s := boxScene(t, 10, 60, 21)
+	r := rng.New(31)
+	var packet RayPacket
+	var scratch PacketScratch
+	for _, n := range []int{64, 3, 128, 1, 17} {
+		packet.Reset()
+		rays := make([]vecmath.Ray, n)
+		for i := range rays {
+			rays[i] = vecmath.Ray{
+				Origin: vecmath.V(r.Float64()*12-1, r.Float64()*12-1, r.Float64()*12-1),
+				Dir:    sampler.UniformSphere(r),
+			}
+			packet.Append(rays[i])
+		}
+		hits := make([]Hit, n)
+		found := make([]bool, n)
+		s.IntersectPacket(&packet, hits, found, &scratch)
+		for i, ray := range rays {
+			var want Hit
+			wantFound := s.Intersect(ray, &want)
+			if found[i] != wantFound || (wantFound && hits[i] != want) {
+				t.Fatalf("packet size %d ray %d: reused scratch diverges from scalar", n, i)
+			}
+		}
+	}
+}
+
+// TestIntersectPacketRangeLimits checks the explicit (tMin, tMax) entry
+// point against the scalar octree call at the same limits — the Occluded
+// use case, where tMax is finite.
+func TestIntersectPacketRangeLimits(t *testing.T) {
+	s := boxScene(t, 10, 60, 43)
+	r := rng.New(47)
+	var packet RayPacket
+	var scratch PacketScratch
+	for _, tMax := range []float64{0.5, 3, 20, math.Inf(1)} {
+		packet.Reset()
+		var rays []vecmath.Ray
+		for i := 0; i < 100; i++ {
+			ray := vecmath.Ray{
+				Origin: vecmath.V(r.Float64()*10, r.Float64()*10, r.Float64()*10),
+				Dir:    sampler.UniformSphere(r),
+			}
+			rays = append(rays, ray)
+			packet.Append(ray)
+		}
+		hits := make([]Hit, len(rays))
+		found := make([]bool, len(rays))
+		s.Octree().IntersectPacket(&packet, Eps, tMax, hits, found, &scratch)
+		for i, ray := range rays {
+			var want Hit
+			wantFound := s.Octree().Intersect(ray, Eps, tMax, &want)
+			if found[i] != wantFound {
+				t.Fatalf("tMax=%v ray %d: packet found=%v scalar found=%v", tMax, i, found[i], wantFound)
+			}
+			if wantFound && hits[i] != want {
+				t.Fatalf("tMax=%v ray %d: packet hit differs:\n%+v\n%+v", tMax, i, hits[i], want)
+			}
+		}
+	}
+}

@@ -12,8 +12,10 @@
 // Run is the contention-free successor. Workers pull photon chunks from a
 // shared work-stealing queue (dynamic self-scheduling: a straggler on a
 // hard chunk never idles a finished worker, unlike the static leapfrog
-// split), trace each chunk into a private per-worker tally buffer with no
-// shared state touched on the hot path, and hand completed buffers to an
+// split), trace each chunk as wavefront batches through a private
+// core.Wave — whole batches descend the octree together via the packet
+// traversal — into a per-worker tally buffer with no shared state touched
+// on the hot path, and hand completed buffers to an
 // in-order merger that flushes batched deposits into the forest — splits
 // happen at merge time, under the existing per-tree lock, so a viewer can
 // still render concurrently with an ongoing simulation (the paper's
@@ -47,6 +49,12 @@ type Config struct {
 	// Smaller chunks balance load more finely at the cost of more queue
 	// and merge transactions.
 	ChunkSize int64
+	// BatchSize is the photons per wavefront batch within a chunk (default
+	// core.DefaultWaveSize). Each worker traces its chunk through a private
+	// core.Wave of this width, so the octree is walked packet-at-a-time
+	// rather than ray-at-a-time. Any width produces bit-identical results;
+	// only throughput changes.
+	BatchSize int
 	// Progress, when non-nil, receives the photons merged so far and the
 	// total. It is invoked by whichever worker holds the merge baton, in
 	// strictly increasing order of done.
@@ -264,6 +272,13 @@ func Run(scene *scenes.Scene, cfg Config) (*core.Result, error) {
 		go func() {
 			defer wg.Done()
 			var st core.Stats
+			// One wavefront per worker, reused across every chunk it
+			// steals: batches of cfg.BatchSize photons walk the octree
+			// together, and the Wave delivers each chunk's tallies in
+			// photon-index order — exactly what the in-order merger
+			// expects, so batching is invisible to the conformance
+			// contract.
+			wave := core.NewWave(sim, cfg.BatchSize)
 			for {
 				idx, lo, hi, ok := queue.take()
 				if !ok {
@@ -276,9 +291,7 @@ func Run(scene *scenes.Scene, cfg Config) (*core.Result, error) {
 				span := cfg.Obs.StartSpan("simulate/chunk")
 				buf := make([]core.Tally, 0, (hi-lo)*3)
 				deliver := func(t core.Tally) { buf = append(buf, t) }
-				for i := lo; i < hi; i++ {
-					sim.TracePhotonFunc(core.PhotonStream(coreCfg.Seed, i), &st, deliver)
-				}
+				wave.Trace(lo, hi, &st, deliver)
 				span.End()
 				cfg.Obs.AddIndexed("worker_photons", w, float64(hi-lo))
 				m.commit(idx, hi-lo, buf)
