@@ -1,0 +1,86 @@
+// photon-route is the render farm's thin stateless dispatcher: it
+// consistent-hashes every request's canonical scene/answer key across a
+// set of photon-serve replicas (rendezvous hashing), so all traffic for
+// one solution lands on one replica's cache and each scene is simulated
+// once across the farm. Replicas are health-checked; failed attempts
+// retry down the preference order; 429 shed responses propagate.
+//
+// Usage:
+//
+//	photon-serve -addr :8081 &
+//	photon-serve -addr :8082 &
+//	photon-route -addr :8080 -replicas http://localhost:8081,http://localhost:8082
+//	curl 'localhost:8080/render?scene=quickstart&w=320&h=240' > view.png
+//
+// The router serves its own /healthz (replica states; 503 when every
+// replica is down) and /metrics (routing counters, Prometheus text
+// format); /render and /scenes proxy to replicas.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/route"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("photon-route: ")
+
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		replicas  = flag.String("replicas", "", "comma-separated photon-serve base URLs (required)")
+		healthMs  = flag.Int("health-ms", 2000, "health check interval in milliseconds")
+		timeoutMs = flag.Int("timeout-ms", 60000, "per-attempt request timeout in milliseconds (cold scenes may simulate)")
+		quiet     = flag.Bool("q", false, "suppress health-transition and retry log lines")
+	)
+	flag.Parse()
+
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	cfg := route.Config{
+		Replicas:       urls,
+		HealthInterval: time.Duration(*healthMs) * time.Millisecond,
+		RequestTimeout: time.Duration(*timeoutMs) * time.Millisecond,
+	}
+	if !*quiet {
+		cfg.Log = log.New(os.Stderr, "photon-route: ", 0)
+	}
+	r, err := route.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           r,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("routing on %s across %d replicas", *addr, len(urls))
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	log.Printf("shut down")
+}

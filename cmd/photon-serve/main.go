@@ -43,19 +43,29 @@ func main() {
 		maxSamples    = flag.Int("max-samples", 4, "max per-axis supersampling a request may ask for")
 		slowMs        = flag.Int("slow-ms", 0, "log renders slower than this many milliseconds (0 disables)")
 		pprofOn       = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		maxRenders    = flag.Int("max-renders", 0, "max concurrent renders admitted (0 = 2x GOMAXPROCS)")
+		queueDepth    = flag.Int("queue-depth", 0, "max requests waiting for a render slot before shedding 429s (0 = 64)")
+		queueMs       = flag.Int("queue-ms", 0, "max milliseconds a request may queue before shedding (0 = 5000)")
+		probeCells    = flag.Int("probe-cells", 0, "probe grid cells per patch axis for quality=probe (0 = default)")
+		probeTerms    = flag.Int("probe-terms", 0, "zonal Legendre terms per probe for quality=probe (0 = default)")
 		quiet         = flag.Bool("q", false, "suppress per-request log lines")
 	)
 	flag.Parse()
 
 	cfg := server.Config{
-		AnswerDir:     *answers,
-		CacheSize:     *cacheSize,
-		SimPhotons:    *simPhotons,
-		SimWorkers:    *simWorkers,
-		RenderWorkers: *renderWorkers,
-		MaxSamples:    *maxSamples,
-		SlowThreshold: time.Duration(*slowMs) * time.Millisecond,
-		EnablePprof:   *pprofOn,
+		AnswerDir:            *answers,
+		CacheSize:            *cacheSize,
+		SimPhotons:           *simPhotons,
+		SimWorkers:           *simWorkers,
+		RenderWorkers:        *renderWorkers,
+		MaxSamples:           *maxSamples,
+		SlowThreshold:        time.Duration(*slowMs) * time.Millisecond,
+		EnablePprof:          *pprofOn,
+		MaxConcurrentRenders: *maxRenders,
+		MaxQueueDepth:        *queueDepth,
+		QueueTimeout:         time.Duration(*queueMs) * time.Millisecond,
+		ProbeCells:           *probeCells,
+		ProbeTerms:           *probeTerms,
 	}
 	if !*quiet {
 		cfg.Log = log.New(os.Stderr, "photon-serve: ", 0)

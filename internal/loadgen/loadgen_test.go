@@ -1,0 +1,187 @@
+package loadgen
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSummarizeAccounting pins the report arithmetic with exact inputs:
+// status classing, shed rate, and nearest-rank percentiles.
+func TestSummarizeAccounting(t *testing.T) {
+	// 10 successes at 1..10ms, 5 sheds, 2 errors (one transport, one 500).
+	var samples []struct {
+		l time.Duration
+		s int
+	}
+	for i := 1; i <= 10; i++ {
+		samples = append(samples, struct {
+			l time.Duration
+			s int
+		}{time.Duration(i) * time.Millisecond, 200})
+	}
+	for i := 0; i < 5; i++ {
+		samples = append(samples, struct {
+			l time.Duration
+			s int
+		}{time.Millisecond, 429})
+	}
+	samples = append(samples,
+		struct {
+			l time.Duration
+			s int
+		}{time.Millisecond, 0},
+		struct {
+			l time.Duration
+			s int
+		}{time.Millisecond, 500})
+
+	r := summarize(Config{Rate: 100}, 17, time.Second, func(yield func(time.Duration, int)) {
+		for _, s := range samples {
+			yield(s.l, s.s)
+		}
+	})
+	if r.OK != 10 || r.Shed != 5 || r.Errors != 2 || r.Sent != 17 {
+		t.Fatalf("accounting = ok %d shed %d errors %d sent %d", r.OK, r.Shed, r.Errors, r.Sent)
+	}
+	if want := 5.0 / 17.0; r.ShedRate != want {
+		t.Errorf("shed_rate = %v, want %v", r.ShedRate, want)
+	}
+	if r.GoodputRPS != 10 {
+		t.Errorf("goodput = %v, want 10", r.GoodputRPS)
+	}
+	// Nearest-rank over 1..10ms: p50 = 5ms, p90 = 9ms, p99/p999/max = 10ms.
+	for _, tc := range []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"p50", r.P50Ms, 5}, {"p90", r.P90Ms, 9},
+		{"p99", r.P99Ms, 10}, {"p999", r.P999Ms, 10}, {"max", r.MaxMs, 10},
+	} {
+		if tc.got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.name, tc.got, tc.want)
+		}
+	}
+}
+
+// TestOpenLoopKeepsArrivingUnderSlowBackend is the property that makes
+// the driver honest: a backend stalling for most of the run must not slow
+// the arrival schedule down. A closed-loop driver would send ~1 request
+// here; the open loop must keep firing on the clock.
+func TestOpenLoopKeepsArrivingUnderSlowBackend(t *testing.T) {
+	release := make(chan struct{})
+	var arrived atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		arrived.Add(1)
+		<-release // stall everything until the run is over
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	done := make(chan Report, 1)
+	go func() {
+		r, err := Run(context.Background(), Config{
+			BaseURL:  ts.URL,
+			Paths:    []string{"/render?scene=a", "/render?scene=b"},
+			Rate:     100,
+			Duration: 300 * time.Millisecond,
+			Timeout:  5 * time.Second,
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- r
+	}()
+	// All arrivals happen while the backend is stalled; release once the
+	// schedule has demonstrably kept going despite zero completions.
+	deadline := time.After(5 * time.Second)
+	for arrived.Load() < 15 {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d arrivals while stalled; open loop is waiting on completions",
+				arrived.Load())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(release)
+	r := <-done
+	if r.Sent < 15 {
+		t.Errorf("sent %d requests in 300ms at 100rps, want >= 15", r.Sent)
+	}
+	if r.OK != r.Sent {
+		t.Errorf("ok = %d, sent = %d; stalled responses were eventually 200", r.OK, r.Sent)
+	}
+}
+
+// TestShedAndErrorClassing: 429s count as shed (not errors), 5xx as
+// errors, and the mix cycles round-robin so the counts are deterministic.
+func TestShedAndErrorClassing(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/ok":
+			w.WriteHeader(http.StatusOK)
+		case "/shed":
+			w.WriteHeader(http.StatusTooManyRequests)
+		default:
+			w.WriteHeader(http.StatusInternalServerError)
+		}
+	}))
+	defer ts.Close()
+
+	r, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL,
+		Paths:    []string{"/ok", "/shed", "/boom"},
+		Rate:     300,
+		Duration: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sent == 0 {
+		t.Fatal("sent nothing")
+	}
+	if r.OK == 0 || r.Shed == 0 || r.Errors == 0 {
+		t.Fatalf("classing: ok %d shed %d errors %d — all three must appear", r.OK, r.Shed, r.Errors)
+	}
+	if got := r.OK + r.Shed + r.Errors; got != r.Sent {
+		t.Errorf("ok+shed+errors = %d, sent = %d", got, r.Sent)
+	}
+	if r.ShedRate <= 0 || r.ShedRate >= 1 {
+		t.Errorf("shed_rate = %v, want in (0,1)", r.ShedRate)
+	}
+}
+
+// TestWarmPrefetchesDistinctPaths: warming hits each distinct path once
+// before the measured run and is excluded from the counts.
+func TestWarmPrefetchesDistinctPaths(t *testing.T) {
+	var warmHits atomic.Int64
+	started := make(chan struct{}, 16)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		warmHits.Add(1)
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	r, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL,
+		Paths:    []string{"/a", "/a", "/b"},
+		Rate:     100,
+		Duration: 50 * time.Millisecond,
+		Warm:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total := warmHits.Load(); total != 2+r.Sent {
+		t.Errorf("backend saw %d hits for %d sent + 2 distinct warm paths", total, r.Sent)
+	}
+}

@@ -1,0 +1,332 @@
+package probe
+
+import (
+	"bytes"
+	"image/png"
+	"math"
+	"testing"
+
+	"repro/internal/bintree"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/scenes"
+	"repro/internal/sphharm"
+	"repro/internal/vecmath"
+	"repro/internal/view"
+)
+
+// solve runs a small stage-one simulation for probe tests.
+func solve(t testing.TB, name string, photons int64) (*scenes.Scene, *bintree.Forest) {
+	t.Helper()
+	ctor, err := scenes.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ctor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(sc, core.DefaultConfig(photons))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc, res.Forest
+}
+
+// TestRadianceCellMatchesSphharmEval pins the inline Legendre recurrence in
+// the probe hot path against the sphharm package's reference evaluator:
+// same coefficients, same x, same value (up to clamping at zero).
+func TestRadianceCellMatchesSphharmEval(t *testing.T) {
+	g := &Grid{patches: 1, cells: 1, terms: 6,
+		coef: make([]bintree.RGB, 6)}
+	coef := []float64{0.8, -0.3, 0.45, 0.11, -0.07, 0.021}
+	for n, c := range coef {
+		g.coef[n] = bintree.RGB{R: c, G: 2 * c, B: -c}
+	}
+	for _, lz := range []float64{0, 0.1, 0.35, 0.5, 0.77, 0.99, 1} {
+		x := 2*lz - 1
+		want := sphharm.Eval(coef, x)
+		got := g.radianceCell(0, lz)
+		wantR := math.Max(want, 0)
+		if math.Abs(got.R-wantR) > 1e-12*math.Max(1, math.Abs(wantR)) {
+			t.Errorf("lz=%v: R=%v, sphharm.Eval=%v", lz, got.R, wantR)
+		}
+		wantG := math.Max(2*want, 0)
+		if math.Abs(got.G-wantG) > 1e-12*math.Max(1, math.Abs(wantG)) {
+			t.Errorf("lz=%v: G=%v, want %v", lz, got.G, wantG)
+		}
+	}
+}
+
+// TestBakeConstantRadiance: projecting a constant function must put all
+// its power in the P₀ term and reconstruct the constant (no undershoot to
+// clamp), independent of elevation.
+func TestBakeConstantRadiance(t *testing.T) {
+	// A grid baked by hand from a constant: c₀ = mean, rest ≈ 0. Rather
+	// than stubbing the forest, bake a real one and check reconstruction
+	// self-consistency at two different term counts: more terms must not
+	// change the zonal mean materially.
+	sc, forest := solve(t, "quickstart", 4000)
+	lo, err := Bake(sc, forest, Config{Terms: 1, Cells: 2, ElevSamples: 8, AzimuthSamples: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Bake(sc, forest, Config{Terms: 5, Cells: 2, ElevSamples: 8, AzimuthSamples: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The elevation-integrated reconstruction must agree between term
+	// counts: higher terms redistribute over elevation but preserve the
+	// projected mean (orthogonality of the Legendre basis).
+	for p := 0; p < lo.NumPatches(); p++ {
+		var meanLo, meanHi float64
+		const steps = 64
+		for q := 0; q < steps; q++ {
+			lz := (float64(q) + 0.5) / steps
+			meanLo += lo.Radiance(p, 0.25, 0.25, lz).G
+			meanHi += hi.Radiance(p, 0.25, 0.25, lz).G
+		}
+		meanLo /= steps
+		meanHi /= steps
+		if meanLo == 0 && meanHi == 0 {
+			continue
+		}
+		// Clamping negative lobes can only raise the mean slightly; allow
+		// a modest band.
+		if meanHi < 0.5*meanLo-1e-9 || meanHi > 2.5*meanLo+1e-9 {
+			t.Errorf("patch %d: zonal mean drifted across term counts: %v vs %v",
+				p, meanLo, meanHi)
+		}
+	}
+}
+
+// TestRenderVisibilityMatchesRayTracer: the rasterizer must resolve the
+// same front-most patch per pixel as the full path's primary rays — the
+// probe path approximates shading, never visibility.
+func TestRenderVisibilityMatchesRayTracer(t *testing.T) {
+	for _, name := range []string{"quickstart", "cornell-box"} {
+		sc, forest := solve(t, name, 2000)
+		g, err := Bake(sc, forest, Config{Cells: 2, Terms: 2, ElevSamples: 4, AzimuthSamples: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = g
+		cam := view.Camera{
+			Eye: vec(2, 0.3, 1.5), LookAt: vec(2, 4, 1.2), Up: vec(0, 0, 1),
+			FovY: 65, Width: 64, Height: 48,
+		}
+		u, v, w := cam.Basis()
+		halfH := math.Tan(cam.FovY * math.Pi / 360)
+		halfW := halfH * float64(cam.Width) / float64(cam.Height)
+
+		// Re-run just the visibility part of Render and compare against
+		// the full path's primary rays (octree intersection).
+		fb := rasterize(sc, cam)
+		mismatches := 0
+		var h geom.Hit
+		for py := 0; py < cam.Height; py++ {
+			sy := (1 - 2*(float64(py)+0.5)/float64(cam.Height)) * halfH
+			for px := 0; px < cam.Width; px++ {
+				sx := (2*(float64(px)+0.5)/float64(cam.Width) - 1) * halfW
+				dir := w.Add(u.Scale(sx)).Add(v.Scale(sy)).Norm()
+				idx := py*cam.Width + px
+				want := int32(-1)
+				if sc.Geom.Intersect(vecmath.Ray{Origin: cam.Eye, Dir: dir}, &h) {
+					want = int32(h.Patch.ID)
+				}
+				if fb.pid[idx] != want {
+					mismatches++
+				}
+			}
+		}
+		// Exactly-tied coplanar patches may resolve by traversal order in
+		// one path and ID order in the other; allow a tiny fraction.
+		if frac := float64(mismatches) / float64(cam.Width*cam.Height); frac > 0.01 {
+			t.Errorf("%s: %.2f%% of pixels resolve a different front patch than ray tracing",
+				name, frac*100)
+		}
+	}
+}
+
+// vec builds a vecmath vector with a short name.
+func vec(x, y, z float64) vecmath.Vec3 { return vecmath.V(x, y, z) }
+
+// TestProbeVsFullErrorBound is the differential acceptance test: on the
+// golden scenes a probe frame must stay within an RMSE bound of the full
+// frame. The bound is loose — probes are the approximate path — but it
+// pins that probes track the answer (a black, saturated, or garbage frame
+// fails by a wide margin).
+func TestProbeVsFullErrorBound(t *testing.T) {
+	for _, tc := range []struct {
+		scene string
+		bound float64
+	}{
+		{"quickstart", 25},
+		{"cornell-box", 25},
+	} {
+		sc, forest := solve(t, tc.scene, 30000)
+		g, err := Bake(sc, forest, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cam := view.Camera{
+			Eye: vec(2, 0.5, 1.5), LookAt: vec(2.5, 4, 1.2), Up: vec(0, 0, 1),
+			FovY: 65, Width: 96, Height: 72,
+		}
+		full, err := view.Render(sc, forest, cam, view.Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := Render(sc, g, cam, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rmse, err := view.RMSE(full, approx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: probe-vs-full RMSE = %.2f (bound %v)", tc.scene, rmse, tc.bound)
+		if rmse > tc.bound {
+			t.Errorf("%s: probe frame RMSE %.2f exceeds bound %v", tc.scene, rmse, tc.bound)
+		}
+		// And the probe frame must actually carry the image: its mean
+		// luminance must be within a factor of two of the full frame's.
+		b := full.Bounds()
+		mf := view.MeanLuminance(full, b)
+		mp := view.MeanLuminance(approx, b)
+		if mp < mf/2 || mp > mf*2 {
+			t.Errorf("%s: probe mean luminance %.1f vs full %.1f (off by >2x)",
+				tc.scene, mp, mf)
+		}
+	}
+}
+
+// TestRenderDeterminism: bake and render twice, byte-identical PNGs.
+func TestRenderDeterminism(t *testing.T) {
+	sc, forest := solve(t, "quickstart", 3000)
+	cam := view.Camera{
+		Eye: vec(2, 0.3, 1.5), LookAt: vec(2, 4, 1.2), Up: vec(0, 0, 1),
+		FovY: 65, Width: 48, Height: 36,
+	}
+	var frames [2][]byte
+	for i := range frames {
+		g, err := Bake(sc, forest, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := Render(sc, g, cam, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := png.Encode(&buf, img); err != nil {
+			t.Fatal(err)
+		}
+		frames[i] = buf.Bytes()
+	}
+	if !bytes.Equal(frames[0], frames[1]) {
+		t.Fatal("probe bake+render is not deterministic")
+	}
+}
+
+// TestBakeRejectsMismatchedForest: a forest from another scene errors.
+func TestBakeRejectsMismatchedForest(t *testing.T) {
+	sc, _ := solve(t, "quickstart", 1000)
+	_, otherForest := solve(t, "cornell-box", 1000)
+	if _, err := Bake(sc, otherForest, Config{}); err == nil {
+		t.Fatal("Bake accepted a forest with the wrong patch count")
+	}
+}
+
+func BenchmarkProbeRender(b *testing.B) {
+	sc, forest := solve(b, "quickstart", 20000)
+	g, err := Bake(sc, forest, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cam := view.Camera{
+		Eye: vec(2, 0.3, 1.5), LookAt: vec(2, 4, 1.2), Up: vec(0, 0, 1),
+		FovY: 65, Width: 160, Height: 120,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Render(sc, g, cam, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullRenderBaseline(b *testing.B) {
+	sc, forest := solve(b, "quickstart", 20000)
+	cam := view.Camera{
+		Eye: vec(2, 0.3, 1.5), LookAt: vec(2, 4, 1.2), Up: vec(0, 0, 1),
+		FovY: 65, Width: 160, Height: 120,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := view.Render(sc, forest, cam, view.Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOffice{Probe,FullS1,FullS2} quantify the serving-tier speedup
+// on a generated multi-room office at a realistic answer-file photon
+// budget: the probe path against the full forest path at samples=1 and at
+// the production samples=2 (full-path cost scales with samples²; the probe
+// path is band-limited by construction, so supersampling does not apply
+// to it).
+func benchOffice(b *testing.B) (*scenes.Scene, *bintree.Forest, view.Camera) {
+	b.Helper()
+	sc, forest := solve(b, "gen:office/seed=7/rooms=2/density=0.6", 200000)
+	cam := view.Camera{
+		Eye: vec(2, 0.5, 1.5), LookAt: vec(6, 4, 1.2), Up: vec(0, 0, 1),
+		FovY: 65, Width: 160, Height: 120,
+	}
+	return sc, forest, cam
+}
+
+func BenchmarkOfficeProbe(b *testing.B) {
+	sc, forest, cam := benchOffice(b)
+	g, err := Bake(sc, forest, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Render(sc, g, cam, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOfficeFullS1(b *testing.B) {
+	sc, forest, cam := benchOffice(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := view.Render(sc, forest, cam, view.Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOfficeFullS2(b *testing.B) {
+	sc, forest, cam := benchOffice(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := view.Options{Workers: 1, Samples: 2}
+		if _, err := view.Render(sc, forest, cam, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBake(b *testing.B) {
+	sc, forest := solve(b, "cornell-box", 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Bake(sc, forest, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -11,7 +11,8 @@
 // Endpoints:
 //
 //	GET /render?answer=FILE.pbf|scene=NAME&eye=x,y,z&lookat=x,y,z&up=x,y,z
-//	           &fov=F&w=W&h=H&samples=N&seed=S&exposure=E   → image/png
+//	           &fov=F&w=W&h=H&samples=N&seed=S&exposure=E
+//	           &quality=full|probe                          → image/png
 //	GET /scenes   → JSON list of built-in scenes + generator families
 //	GET /healthz  → liveness + cache occupancy
 //	GET /statz    → request/render/cache counters and timing totals (JSON)
@@ -25,16 +26,39 @@
 // internal/scenegen), which is simulated once on first request (stage one
 // run lazily, Config.SimPhotons photons on the shared engine) and then
 // served from the same cache — the canonical spec is the cache key.
-// Responses carry X-Cache (HIT/MISS) and X-Render-Ms timing headers.
+// Responses carry X-Cache (HIT/MISS), X-Quality and X-Render-Ms headers.
+//
+// quality=full (the default) renders from the forest and is byte-stable
+// across requests; quality=probe renders from the per-patch radiance
+// probes baked when the solution entered the cache (internal/probe): same
+// visibility, approximate shading, an order of magnitude faster. The probe
+// path is band-limited by construction, so `samples` and `seed` do not
+// apply to it.
+//
+// HEAD /render validates the request and resolves the solution through the
+// cache (loading or simulating it exactly as GET would) but performs no
+// render: the response carries Content-Type, X-Cache, X-Quality and
+// X-Photons, and deliberately no Content-Length or X-Render-Ms, since no
+// image was produced.
+//
+// The server admits at most Config.MaxConcurrentRenders renders at once;
+// beyond that, requests wait in a bounded queue (Config.MaxQueueDepth,
+// Config.QueueTimeout) and are shed with 429 + Retry-After when the queue
+// is full or the deadline passes — overload degrades into fast, explicit
+// rejections instead of a latency collapse. Shed counts and queue depth
+// are surfaced in /statz and /metrics.
 package server
 
 import (
 	"bytes"
 	"container/list"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"image"
 	"log"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -43,12 +67,14 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/answer"
 	"repro/internal/bintree"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/probe"
 	"repro/internal/scenegen"
 	"repro/internal/scenes"
 	"repro/internal/shared"
@@ -85,6 +111,19 @@ type Config struct {
 	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/.
 	// Off by default: the profiling surface is opt-in.
 	EnablePprof bool
+	// MaxConcurrentRenders bounds how many /render requests may occupy the
+	// render (or fill) stage at once (default 2×GOMAXPROCS).
+	MaxConcurrentRenders int
+	// MaxQueueDepth bounds how many requests may wait for a render slot;
+	// arrivals beyond it are shed immediately with 429 (default 64).
+	MaxQueueDepth int
+	// QueueTimeout is how long a queued request waits for a slot before it
+	// is shed with 429 (default 5s).
+	QueueTimeout time.Duration
+	// ProbeCells and ProbeTerms tune the probe grids baked at cache-fill
+	// time for quality=probe serving (0 selects internal/probe defaults).
+	ProbeCells int
+	ProbeTerms int
 }
 
 func (c *Config) normalize() {
@@ -103,6 +142,15 @@ func (c *Config) normalize() {
 	if c.MaxSamples <= 0 {
 		c.MaxSamples = 4
 	}
+	if c.MaxConcurrentRenders <= 0 {
+		c.MaxConcurrentRenders = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueueDepth <= 0 {
+		c.MaxQueueDepth = 64
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 5 * time.Second
+	}
 }
 
 // Metrics are the server's telemetry instruments, registered on the
@@ -117,9 +165,11 @@ type Metrics struct {
 	CacheEvictions *obs.Counter // resident solutions displaced by the LRU
 	Errors4xx      *obs.Counter
 	Errors5xx      *obs.Counter
+	Shed           *obs.Counter   // requests rejected by admission control
 	RequestSeconds *obs.Histogram // wall time of every request
 	RenderSeconds  *obs.Histogram // wall time of successful renders
 	CacheResident  *obs.Gauge     // solutions currently resident
+	QueueDepth     *obs.Gauge     // requests waiting for a render slot
 }
 
 func newMetrics(reg *obs.Registry) Metrics {
@@ -131,9 +181,11 @@ func newMetrics(reg *obs.Registry) Metrics {
 		CacheEvictions: reg.Counter("photon_cache_evictions_total", "resident solutions displaced by the LRU"),
 		Errors4xx:      reg.Counter("photon_http_errors_total", "error responses by class", obs.L("class", "4xx")),
 		Errors5xx:      reg.Counter("photon_http_errors_total", "error responses by class", obs.L("class", "5xx")),
+		Shed:           reg.Counter("photon_shed_total", "requests rejected by admission control"),
 		RequestSeconds: reg.Histogram("photon_http_request_seconds", "request wall time", nil),
 		RenderSeconds:  reg.Histogram("photon_render_seconds", "render wall time of successful renders", nil),
 		CacheResident:  reg.Gauge("photon_cache_resident", "solutions currently resident in the cache"),
+		QueueDepth:     reg.Gauge("photon_admission_queue_depth", "requests waiting for a render slot"),
 	}
 }
 
@@ -144,8 +196,15 @@ type entry struct {
 	key  string
 	once sync.Once
 
+	// filled is set under Server.mu when the once has completed. The LRU
+	// never evicts an unfilled entry: evicting an in-flight fill would let
+	// a later request for the same key start a second simulation, and
+	// under cache thrash that unbounds concurrent fills entirely.
+	filled bool
+
 	scene   *scenes.Scene
 	forest  *bintree.Forest
+	grid    *probe.Grid // baked at fill time; serves quality=probe
 	emitted int64
 	err     error
 }
@@ -162,6 +221,15 @@ type Server struct {
 	mu    sync.Mutex
 	order *list.List
 	items map[string]*list.Element
+
+	// Admission control: slots is the render-concurrency semaphore,
+	// queued counts requests waiting for a slot.
+	slots  chan struct{}
+	queued atomic.Int64
+
+	// fillHook, when non-nil, is called with the cache key at the start of
+	// every fill. Tests use it to count and gate fills; nil in production.
+	fillHook func(key string)
 }
 
 // New constructs a Server; use it directly as an http.Handler.
@@ -176,6 +244,7 @@ func New(cfg Config) *Server {
 		metrics: newMetrics(reg),
 		order:   list.New(),
 		items:   make(map[string]*list.Element),
+		slots:   make(chan struct{}, cfg.MaxConcurrentRenders),
 	}
 	s.mux.HandleFunc("/render", s.handleRender)
 	s.mux.HandleFunc("/scenes", s.handleScenes)
@@ -198,7 +267,10 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // MetricsSnapshot returns the current counters (for tests and benches).
 // The key set is part of the /statz surface: the original seven counters
-// plus cache_evictions.
+// plus cache_evictions and shed. render_ms is the render histogram's sum
+// rounded (not truncated) to whole milliseconds; the exact float is the
+// render_seconds_sum field of /statz, which matches /metrics
+// photon_render_seconds_sum bit for bit.
 func (s *Server) MetricsSnapshot() map[string]int64 {
 	return map[string]int64{
 		"requests":        s.metrics.Requests.Value(),
@@ -208,7 +280,8 @@ func (s *Server) MetricsSnapshot() map[string]int64 {
 		"cache_evictions": s.metrics.CacheEvictions.Value(),
 		"errors_4xx":      s.metrics.Errors4xx.Value(),
 		"errors_5xx":      s.metrics.Errors5xx.Value(),
-		"render_ms":       int64(s.metrics.RenderSeconds.Sum() * 1e3),
+		"shed":            s.metrics.Shed.Value(),
+		"render_ms":       int64(math.Round(s.metrics.RenderSeconds.Sum() * 1e3)),
 	}
 }
 
@@ -227,10 +300,12 @@ func (w *statusWriter) WriteHeader(code int) {
 // optional per-request logging.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Requests.Inc()
-	// The pprof endpoints manage their own methods (symbol accepts POST);
-	// everything else on this server is read-only GET/HEAD.
-	if r.Method != http.MethodGet && r.Method != http.MethodHead &&
-		!strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
+	// The pprof endpoints manage their own methods (symbol accepts POST),
+	// but only when they are actually mounted — with EnablePprof off the
+	// pprof paths are ordinary unmounted paths and the read-only GET/HEAD
+	// contract applies to them like everything else.
+	pprofExempt := s.cfg.EnablePprof && strings.HasPrefix(r.URL.Path, "/debug/pprof/")
+	if r.Method != http.MethodGet && r.Method != http.MethodHead && !pprofExempt {
 		s.metrics.Errors4xx.Inc()
 		http.Error(w, "only GET is supported", http.StatusMethodNotAllowed)
 		return
@@ -264,13 +339,37 @@ func (s *Server) lookup(key string) (e *entry, found bool) {
 	}
 	e = &entry{key: key}
 	s.items[key] = s.order.PushFront(e)
-	for s.order.Len() > s.cfg.CacheSize {
-		oldest := s.order.Back()
-		s.order.Remove(oldest)
-		delete(s.items, oldest.Value.(*entry).key)
-		s.metrics.CacheEvictions.Inc()
-	}
+	s.evictLocked()
 	return e, false
+}
+
+// evictLocked trims the cache to capacity, evicting from the LRU end but
+// never an entry whose fill is still in flight: an evicted in-flight entry
+// would let the next request for the same key start a second simulation.
+// When every excess entry is mid-fill the cache temporarily overflows
+// instead; markFilled re-trims as fills complete. Callers hold s.mu.
+func (s *Server) evictLocked() {
+	for el := s.order.Back(); el != nil && s.order.Len() > s.cfg.CacheSize; {
+		prev := el.Prev()
+		if e := el.Value.(*entry); e.filled {
+			s.order.Remove(el)
+			delete(s.items, e.key)
+			s.metrics.CacheEvictions.Inc()
+		}
+		el = prev
+	}
+}
+
+// markFilled records that e's fill has completed (making it evictable) and
+// trims any overflow the pin accumulated. Idempotent; called after every
+// once.Do so late sharers converge on the same state.
+func (s *Server) markFilled(e *entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !e.filled {
+		e.filled = true
+		s.evictLocked()
+	}
 }
 
 // forget drops a failed entry so a later request retries the load (e.g.
@@ -282,6 +381,47 @@ func (s *Server) forget(e *entry) {
 		s.order.Remove(el)
 		delete(s.items, e.key)
 	}
+}
+
+// admit applies admission control: it acquires a render slot, waiting in
+// the bounded queue if none is free. It returns a release func on success,
+// or nil and the HTTP status to shed with (429) when the queue is full,
+// the queue deadline passes, or the client goes away first.
+func (s *Server) admit(ctx context.Context) (release func(), status int) {
+	select {
+	case s.slots <- struct{}{}:
+		return func() { <-s.slots }, 0
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.MaxQueueDepth) {
+		s.queued.Add(-1)
+		s.metrics.Shed.Inc()
+		return nil, http.StatusTooManyRequests
+	}
+	defer s.queued.Add(-1)
+	timer := time.NewTimer(s.cfg.QueueTimeout)
+	defer timer.Stop()
+	select {
+	case s.slots <- struct{}{}:
+		return func() { <-s.slots }, 0
+	case <-timer.C:
+		s.metrics.Shed.Inc()
+		return nil, http.StatusTooManyRequests
+	case <-ctx.Done():
+		s.metrics.Shed.Inc()
+		return nil, http.StatusTooManyRequests
+	}
+}
+
+// retryAfter is the Retry-After value sent with 429s: the queue timeout
+// rounded up to whole seconds — by then the present queue has drained or
+// been shed, so it is an honest earliest-useful-retry hint.
+func (s *Server) retryAfter() string {
+	secs := int(math.Ceil(s.cfg.QueueTimeout.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 // answerPath resolves name inside AnswerDir, rejecting traversal.
@@ -445,6 +585,15 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "%v", err)
 		return
 	}
+	quality := q.Get("quality")
+	switch quality {
+	case "", "full":
+		quality = "full"
+	case "probe":
+	default:
+		badRequest(w, "quality %q not in {probe, full}", quality)
+		return
+	}
 	// Overflow-safe bound: width > MaxPixels/height, never width*height.
 	if width <= 0 || height <= 0 || width > s.cfg.MaxPixels/height {
 		badRequest(w, "image %dx%d out of bounds (max %d pixels)", width, height, s.cfg.MaxPixels)
@@ -462,6 +611,17 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "%v", err)
 		return
 	}
+
+	// Admission control covers everything costly downstream: the fill
+	// (which may simulate) and the render itself. Validation stayed above
+	// it so malformed requests fail fast without occupying a slot.
+	release, shedCode := s.admit(r.Context())
+	if release == nil {
+		w.Header().Set("Retry-After", s.retryAfter())
+		http.Error(w, "overloaded: retry later", shedCode)
+		return
+	}
+	defer release()
 
 	// Resolve the solution through the LRU cache.
 	var key string
@@ -496,7 +656,14 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	}
 	e, found := s.lookup(key)
 	s.countLookup(found)
-	e.once.Do(func() { fill(e) })
+	e.once.Do(func() {
+		if s.fillHook != nil {
+			s.fillHook(key)
+		}
+		fill(e)
+		e.bakeProbes(s.cfg)
+	})
+	s.markFilled(e)
 	if e.err != nil {
 		s.forget(e)
 		code := http.StatusInternalServerError
@@ -506,7 +673,46 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, e.err.Error(), code)
 		return
 	}
-	s.respondRender(w, r, e, found, cam, exposure, samples, int64(seed))
+	if r.Method == http.MethodHead {
+		// HEAD resolved (and possibly filled) the solution but renders
+		// nothing: report what a GET would say about the solution, omit
+		// Content-Length and X-Render-Ms — no image exists to measure.
+		h := w.Header()
+		h.Set("Content-Type", "image/png")
+		setCacheHeader(h, found)
+		h.Set("X-Quality", quality)
+		h.Set("X-Photons", strconv.FormatInt(e.emitted, 10))
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	s.respondRender(w, e, found, cam, exposure, samples, int64(seed), quality)
+}
+
+// bakeProbes derives the entry's probe grid from its freshly filled
+// forest; runs inside the entry's once, after fill, so every resident
+// solution can serve quality=probe without touching the forest again.
+func (e *entry) bakeProbes(cfg Config) {
+	if e.err != nil {
+		return
+	}
+	g, err := probe.Bake(e.scene, e.forest, probe.Config{
+		Cells: cfg.ProbeCells,
+		Terms: cfg.ProbeTerms,
+	})
+	if err != nil {
+		e.err = fmt.Errorf("baking probes: %w", err)
+		return
+	}
+	e.grid = g
+}
+
+// setCacheHeader writes the X-Cache HIT/MISS header.
+func setCacheHeader(h http.Header, cached bool) {
+	if cached {
+		h.Set("X-Cache", "HIT")
+	} else {
+		h.Set("X-Cache", "MISS")
+	}
 }
 
 func (s *Server) countLookup(found bool) {
@@ -517,18 +723,25 @@ func (s *Server) countLookup(found bool) {
 	}
 }
 
-// respondRender renders the cached solution and writes the PNG. The
-// render is pure reads over the forest, so concurrent requests against
-// the same entry need no synchronization.
-func (s *Server) respondRender(w http.ResponseWriter, r *http.Request, e *entry, cached bool,
-	cam view.Camera, exposure float64, samples int, seed int64) {
+// respondRender renders the cached solution and writes the PNG. Both
+// paths are pure reads — the forest and the probe grid are immutable once
+// filled — so concurrent requests against the same entry need no
+// synchronization.
+func (s *Server) respondRender(w http.ResponseWriter, e *entry, cached bool,
+	cam view.Camera, exposure float64, samples int, seed int64, quality string) {
 	start := time.Now()
-	img, err := view.Render(e.scene, e.forest, cam, view.Options{
-		Exposure: exposure,
-		Workers:  s.cfg.RenderWorkers,
-		Samples:  samples,
-		Seed:     seed,
-	})
+	var img *image.RGBA
+	var err error
+	if quality == "probe" {
+		img, err = probe.Render(e.scene, e.grid, cam, probe.Options{Exposure: exposure})
+	} else {
+		img, err = view.Render(e.scene, e.forest, cam, view.Options{
+			Exposure: exposure,
+			Workers:  s.cfg.RenderWorkers,
+			Samples:  samples,
+			Seed:     seed,
+		})
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -556,24 +769,26 @@ func (s *Server) respondRender(w http.ResponseWriter, r *http.Request, e *entry,
 	h.Set("Content-Type", "image/png")
 	h.Set("Content-Length", strconv.Itoa(buf.Len()))
 	h.Set("X-Render-Ms", strconv.FormatInt(elapsed.Milliseconds(), 10))
-	if cached {
-		h.Set("X-Cache", "HIT")
-	} else {
-		h.Set("X-Cache", "MISS")
-	}
+	setCacheHeader(h, cached)
+	h.Set("X-Quality", quality)
 	h.Set("X-Photons", strconv.FormatInt(e.emitted, 10))
 	s.metrics.Renders.Inc()
-	if r.Method == http.MethodHead {
-		return
-	}
 	w.Write(buf.Bytes())
 }
 
+// writeJSON encodes v to a buffer first so an encoding failure becomes a
+// clean 500 instead of a silently truncated 200 body.
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.Write(buf.Bytes())
 }
 
 func (s *Server) handleScenes(w http.ResponseWriter, r *http.Request) {
@@ -609,6 +824,10 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		ratio = float64(snap["cache_hits"]) / float64(total)
 	}
 	out["cache_hit_ratio"] = ratio
+	// The exact render-time total: the same float64 the /metrics
+	// photon_render_seconds_sum line prints (render_ms is this, rounded).
+	out["render_seconds_sum"] = s.metrics.RenderSeconds.Sum()
+	out["queue_depth"] = s.queued.Load()
 	writeJSON(w, out)
 }
 
@@ -621,6 +840,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	resident := s.order.Len()
 	s.mu.Unlock()
 	s.metrics.CacheResident.Set(float64(resident))
+	s.metrics.QueueDepth.Set(float64(s.queued.Load()))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.WritePrometheus(w)
 }

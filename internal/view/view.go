@@ -285,38 +285,94 @@ func Render(sc *scenes.Scene, forest *bintree.Forest, cam Camera, opts Options) 
 		}
 	}
 
-	// Exposure.
-	exposure := opts.Exposure
-	if exposure == 0 {
-		mean := 0.0
-		n := 0
-		for _, r := range rad {
-			l := lum(r)
-			if l > 0 {
-				mean += l
-				n++
-			}
-		}
-		if n > 0 && mean > 0 {
-			exposure = 0.5 * float64(n) / mean
-		} else {
-			exposure = 1
-		}
-	}
-
-	// Second pass: Reinhard tone map + gamma.
+	// Second pass: exposure + Reinhard tone map + gamma.
 	toneSpan := opts.Obs.StartSpan("render/tonemap")
-	img := image.NewRGBA(image.Rect(0, 0, cam.Width, cam.Height))
+	img := Tonemap(rad, cam.Width, cam.Height, opts.Exposure, opts.Gamma)
+	toneSpan.End()
+	return img, nil
+}
+
+// Tonemap converts a raw radiance buffer (row-major, width×height) into the
+// displayed image: automatic exposure when exposure is 0 (0.5·n/Σlum over
+// the lit pixels), then per-channel Reinhard tone mapping and display gamma
+// (0 selects the 2.2 default). Render's second pass is exactly this call;
+// it is exported so alternative first passes — the probe rasterizer — map
+// radiance to bytes identically to the full path.
+func Tonemap(rad []bintree.RGB, width, height int, exposure, gamma float64) *image.RGBA {
+	if gamma <= 0 {
+		gamma = 2.2
+	}
+	exposure = autoExposure(rad, exposure)
+	img := image.NewRGBA(image.Rect(0, 0, width, height))
 	for i, r := range rad {
-		img.SetRGBA(i%cam.Width, i/cam.Width, color.RGBA{
-			R: toneChannel(r.R, exposure, opts.Gamma),
-			G: toneChannel(r.G, exposure, opts.Gamma),
-			B: toneChannel(r.B, exposure, opts.Gamma),
+		img.SetRGBA(i%width, i/width, color.RGBA{
+			R: toneChannel(r.R, exposure, gamma),
+			G: toneChannel(r.G, exposure, gamma),
+			B: toneChannel(r.B, exposure, gamma),
 			A: 255,
 		})
 	}
-	toneSpan.End()
-	return img, nil
+	return img
+}
+
+// TonemapFast is Tonemap with the gamma curve approximated by an
+// interpolated lookup table, for latency-critical approximate paths (the
+// probe renderer). Exposure and the Reinhard curve are identical to
+// Tonemap; only the final x^(1/γ) is tabulated, and the table is indexed
+// by √x so the tabulated function x^(2/γ) is nearly linear for display
+// gammas — linear interpolation then stays within one 8-bit step of the
+// exact curve everywhere, including the steep region near black that an
+// evenly spaced table misses. The full path keeps the exact Tonemap so
+// committed frames stay byte-identical.
+func TonemapFast(rad []bintree.RGB, width, height int, exposure, gamma float64) *image.RGBA {
+	if gamma <= 0 {
+		gamma = 2.2
+	}
+	exposure = autoExposure(rad, exposure)
+	const lutN = 1024
+	var lut [lutN + 2]float64
+	for i := range lut {
+		lut[i] = math.Pow(float64(i)/lutN, 2/gamma) * 255
+	}
+	tone := func(x float64) uint8 {
+		if x <= 0 {
+			return 0
+		}
+		v := x * exposure
+		v = v / (1 + v) // Reinhard; in [0,1)
+		f := math.Sqrt(v) * lutN
+		i := int(f)
+		c := lut[i] + (f-float64(i))*(lut[i+1]-lut[i])
+		return uint8(vecmath.Clamp(c+0.5, 0, 255))
+	}
+	img := image.NewRGBA(image.Rect(0, 0, width, height))
+	for i, r := range rad {
+		img.SetRGBA(i%width, i/width, color.RGBA{
+			R: tone(r.R), G: tone(r.G), B: tone(r.B), A: 255,
+		})
+	}
+	return img
+}
+
+// autoExposure resolves the exposure setting: nonzero passes through;
+// zero selects 0.5·n/Σlum over the lit pixels (or 1 for a black frame).
+func autoExposure(rad []bintree.RGB, exposure float64) float64 {
+	if exposure != 0 {
+		return exposure
+	}
+	mean := 0.0
+	n := 0
+	for _, r := range rad {
+		l := lum(r)
+		if l > 0 {
+			mean += l
+			n++
+		}
+	}
+	if n > 0 && mean > 0 {
+		return 0.5 * float64(n) / mean
+	}
+	return 1
 }
 
 // RadianceToward evaluates the answer forest for the radiance leaving the
